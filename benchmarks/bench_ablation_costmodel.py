@@ -1,0 +1,83 @@
+"""Ablation: the hybrid cost model's knobs (mu and the memory budget).
+
+Not a paper table — an ablation of the design choices DESIGN.md calls
+out: Eq. 3's overlap-trimming factor mu and Algorithm 4's memory
+constraint S.  Expectations: the greedy is robust to mu (the V_rep
+re-measurement already removes most double counting), and shrinking S
+pushes Hybrid monotonically toward DepComm behaviour (fewer cached
+dependencies, more communication).
+"""
+
+from common import build_engine, fmt_time, paper_row, print_table
+from repro.cluster.spec import ClusterSpec
+from repro.comm.scheduler import CommOptions
+
+DATASET = "wiki"
+
+
+def sweep_mu():
+    rows = []
+    times = {}
+    for mu in [0.2, 0.5, 0.8, 1.0]:
+        engine = build_engine(
+            "hybrid", DATASET, cluster=ClusterSpec.ecs(8),
+            comm=CommOptions.all(), mu=mu,
+        )
+        t = engine.charge_epoch()
+        times[mu] = t
+        rows.append([f"{mu:.1f}", fmt_time(t),
+                     f"{engine.plan().cache_ratio() * 100:.0f}%"])
+    print_table(
+        f"Ablation: Eq. 3's mu on {DATASET} (Hybrid, 8-node ECS)",
+        ["mu", "epoch ms", "cached"],
+        rows,
+    )
+    return times
+
+
+def sweep_memory_budget():
+    rows = []
+    times = {}
+    budgets = [1 << 18, 1 << 21, 1 << 24, 1 << 30]
+    for budget in budgets:
+        engine = build_engine(
+            "hybrid", DATASET, cluster=ClusterSpec.ecs(8),
+            comm=CommOptions.all(), memory_limit_bytes=budget,
+        )
+        t = engine.charge_epoch()
+        ratio = engine.plan().cache_ratio()
+        times[budget] = (t, ratio)
+        rows.append([f"{budget / 1024 / 1024:.2f} MB", fmt_time(t),
+                     f"{ratio * 100:.0f}%"])
+    print_table(
+        f"Ablation: Algorithm 4's memory budget S on {DATASET}",
+        ["budget", "epoch ms", "cached"],
+        rows,
+    )
+    paper_row("smaller S -> fewer cached deps -> closer to DepComm")
+    return times
+
+
+def run_experiment():
+    return sweep_mu(), sweep_memory_budget()
+
+
+def test_ablation_costmodel(benchmark):
+    mu_times, budget_times = run_experiment()
+    # Robust to mu: spread below 25%.
+    values = list(mu_times.values())
+    assert max(values) / min(values) < 1.25
+    # Cache ratio grows monotonically with the budget.
+    ratios = [budget_times[b][1] for b in sorted(budget_times)]
+    assert all(a <= b + 1e-9 for a, b in zip(ratios, ratios[1:]))
+    # A starved budget caches (almost) nothing.
+    assert ratios[0] < 0.2
+    benchmark(
+        lambda: build_engine(
+            "hybrid", DATASET, cluster=ClusterSpec.ecs(8), mu=0.5
+        ).charge_epoch()
+    )
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,83 @@
+"""Ablation: model depth (2 / 3 / 4 layers).
+
+The paper evaluates 2-layer models; Algorithms 2-4 generalise to any L.
+Deeper models blow up DepCache's closure multiplicatively (k-hop
+neighborhoods) while DepComm adds only one more exchange per layer, so
+the Hybrid/DepCache gap must widen with depth.
+"""
+
+from common import epoch_time, fmt_time, is_oom, paper_row, print_table
+from repro.cluster.spec import ClusterSpec
+from repro.comm.scheduler import CommOptions
+from repro.core.model import GNNModel
+from repro.engines import make_engine
+from repro.graph.datasets import load_dataset, spec_of
+from repro.training.prep import prepare_graph
+
+DATASET = "livejournal"
+
+
+def measure(engine_name, layers, comm):
+    graph = prepare_graph(load_dataset(DATASET), "gcn")
+    spec = spec_of(DATASET)
+    model = GNNModel.gcn(
+        graph.feature_dim, spec.hidden_dim, graph.num_classes,
+        num_layers=layers, seed=1,
+    )
+    try:
+        engine = make_engine(
+            engine_name, graph, model, ClusterSpec.ecs(8), comm=comm
+        )
+        return engine.charge_epoch()
+    except Exception:
+        return float("nan")
+
+
+def run_experiment():
+    results = {}
+    rows = []
+    for layers in [2, 3, 4]:
+        times = {
+            "DepCache": measure("depcache", layers, CommOptions.none()),
+            "DepComm": measure("depcomm", layers, CommOptions.all()),
+            "Hybrid": measure("hybrid", layers, CommOptions.all()),
+        }
+        results[layers] = times
+        gap = (
+            "-" if is_oom(times["DepCache"])
+            else f"{times['DepCache'] / times['Hybrid']:.2f}x"
+        )
+        rows.append([
+            str(layers), fmt_time(times["DepCache"]),
+            fmt_time(times["DepComm"]), fmt_time(times["Hybrid"]), gap,
+        ])
+    print_table(
+        f"Ablation: model depth, GCN on {DATASET} (8-node ECS)",
+        ["layers", "DepCache ms", "DepComm ms", "Hybrid ms",
+         "cache/hybrid"],
+        rows,
+    )
+    paper_row("deeper models widen DepCache's redundancy multiplicatively")
+    return results
+
+
+def test_ablation_depth(benchmark):
+    results = run_experiment()
+
+    def gap(layers):
+        r = results[layers]
+        if is_oom(r["DepCache"]):
+            return float("inf")
+        return r["DepCache"] / r["Hybrid"]
+
+    # The DepCache/Hybrid gap widens (or DepCache dies) with depth.
+    assert gap(4) >= gap(3) >= gap(2) * 0.95
+    assert gap(4) > gap(2)
+    # Hybrid completes at every depth.
+    for layers, r in results.items():
+        assert not is_oom(r["Hybrid"]), layers
+    benchmark(lambda: measure("hybrid", 3, CommOptions.all()))
+
+
+if __name__ == "__main__":
+    run_experiment()

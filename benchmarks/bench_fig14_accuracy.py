@@ -1,0 +1,134 @@
+"""Figure 14: accuracy over (modeled) time on Reddit.
+
+Real numerical training: the full-batch engines (Hybrid, DepComm,
+DepCache) share identical numerics, so one training run provides their
+common accuracy-vs-epoch curve and each engine's modeled per-epoch time
+stretches it onto the time axis.  DepCache-sampling (DistDGL-style
+mini-batch training) is trained separately -- its curve genuinely
+differs.
+
+Paper shapes: full-batch engines converge to ~94-95%; sampling tops out
+lower (93.92%); Hybrid reaches the sampling ceiling (the target
+accuracy) first; DepCache is slowest to the target by a wide margin.
+
+The run uses a scaled-down Reddit (scale 0.5) and 4 workers so the real
+numerics finish in seconds.
+"""
+
+import numpy as np
+
+from common import build_engine, paper_row, print_table
+from repro.cluster.spec import ClusterSpec
+from repro.comm.scheduler import CommOptions
+from repro.training.trainer import DistributedTrainer
+
+SCALE = 0.5
+NODES = 4
+EPOCHS = 60
+EVAL_EVERY = 5
+
+
+def run_experiment(seed=1):
+    cluster = ClusterSpec.ecs(NODES)
+
+    # One real full-batch training provides the accuracy-vs-epoch curve.
+    reference = build_engine(
+        "hybrid", "reddit", cluster=cluster, comm=CommOptions.all(),
+        scale=SCALE, seed=seed,
+    )
+    trainer = DistributedTrainer(reference, lr=0.01)
+    history = trainer.train(epochs=EPOCHS, eval_every=EVAL_EVERY)
+    curve = [(p.epoch, p.accuracy) for p in history.convergence]
+
+    # Per-epoch modeled times of each full-batch engine.
+    epoch_times = {}
+    for label, engine_name, comm in [
+        ("Hybrid", "hybrid", CommOptions.all()),
+        ("DepComm", "depcomm", CommOptions.all()),
+        ("DepCache", "depcache", CommOptions.none()),
+    ]:
+        engine = build_engine(
+            engine_name, "reddit", cluster=cluster, comm=comm,
+            scale=SCALE, seed=seed,
+        )
+        epoch_times[label] = engine.charge_epoch()
+
+    # Sampling engine: separate real mini-batch training.
+    sampler = build_engine(
+        "distdgl", "reddit", cluster=cluster, comm=CommOptions.none(),
+        scale=SCALE, seed=seed,
+    )
+    sample_trainer = DistributedTrainer(sampler, lr=0.01)
+    sample_history = sample_trainer.train(epochs=EPOCHS, eval_every=EVAL_EVERY)
+
+    full_batch_best = max(acc for _, acc in curve)
+    sampling_best = sample_history.best_accuracy()
+    target = sampling_best  # the paper uses sampling's ceiling as target
+
+    def time_to(curve_points, per_epoch, target_acc):
+        for epoch, acc in curve_points:
+            if acc >= target_acc:
+                return epoch * per_epoch, epoch
+        return None, None
+
+    rows = []
+    results = {}
+    for label, per_epoch in epoch_times.items():
+        t, epoch = time_to(curve, per_epoch, target)
+        results[label] = {
+            "per_epoch": per_epoch, "time_to_target": t,
+            "best": full_batch_best,
+        }
+        rows.append([
+            label, f"{full_batch_best * 100:.2f}%",
+            f"{per_epoch * 1e3:.2f}",
+            "-" if t is None else f"{t:.3f}s (epoch {epoch})",
+        ])
+    sample_curve = [(p.epoch, p.accuracy) for p in sample_history.convergence]
+    t_sample = None
+    for point in sample_history.convergence:
+        if point.accuracy >= target:
+            t_sample = point.time_s
+            break
+    results["DepCache-sampling"] = {
+        "per_epoch": sample_history.avg_epoch_time_s,
+        "time_to_target": t_sample,
+        "best": sampling_best,
+    }
+    rows.append([
+        "DepCache-sampling", f"{sampling_best * 100:.2f}%",
+        f"{sample_history.avg_epoch_time_s * 1e3:.2f}",
+        "-" if t_sample is None else f"{t_sample:.3f}s",
+    ])
+    print_table(
+        f"Figure 14: accuracy vs time, GCN on Reddit (scale {SCALE}, "
+        f"{NODES} nodes; target = sampling ceiling {target * 100:.2f}%)",
+        ["engine", "best accuracy", "epoch ms", "time to target"],
+        rows,
+    )
+    paper_row(
+        "full-batch best ~94-95% > sampling 93.92%; Hybrid reaches the "
+        "target first (1.20x vs DepComm, 1.96x vs sampling); DepCache slowest"
+    )
+    return results
+
+
+def test_fig14_accuracy(benchmark):
+    results = run_experiment()
+    full_best = results["Hybrid"]["best"]
+    sample_best = results["DepCache-sampling"]["best"]
+    # Full-batch training beats the sampling ceiling.
+    assert full_best > sample_best
+    assert full_best > 0.80
+    # Everyone reaches the sampling target; Hybrid first.
+    t_hybrid = results["Hybrid"]["time_to_target"]
+    t_comm = results["DepComm"]["time_to_target"]
+    t_cache = results["DepCache"]["time_to_target"]
+    assert t_hybrid is not None and t_comm is not None and t_cache is not None
+    assert t_hybrid <= t_comm
+    assert t_hybrid < t_cache / 1.5  # DepCache far behind
+    benchmark(lambda: None)  # the experiment itself is the measurement
+
+
+if __name__ == "__main__":
+    run_experiment()

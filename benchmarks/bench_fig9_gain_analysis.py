@@ -1,0 +1,83 @@
+"""Figure 9: where NeutronStar's gain comes from.
+
+Normalized speedups over raw DepCache on every graph (GCN, 16 nodes):
+raw DepComm, raw Hybrid, then Hybrid + ring (R), + lock-free queuing
+(L), + communication/computation overlap (P).
+
+Paper shapes: raw Hybrid beats raw DepCache 1.63-10.34X and raw DepComm
+1.24-1.68X; R adds ~1.10-1.15X, L ~1.08-1.12X, P ~1.19-1.41X; the fully
+optimized system beats raw Hybrid 1.46-1.77X.
+"""
+
+from common import epoch_time, is_oom, print_table, paper_row
+from repro.cluster.spec import ClusterSpec
+from repro.comm.scheduler import CommOptions
+
+DATASETS = ["google", "pokec", "livejournal", "reddit", "orkut", "wiki", "twitter"]
+
+VARIANTS = [
+    ("DepCache", "depcache", CommOptions.none()),
+    ("DepComm", "depcomm", CommOptions.none()),
+    ("Hybrid", "hybrid", CommOptions.none()),
+    ("Hybrid+R", "hybrid", CommOptions(ring=True)),
+    ("Hybrid+RL", "hybrid", CommOptions(ring=True, lock_free=True)),
+    ("Hybrid+RLP (NTS)", "hybrid", CommOptions.all()),
+]
+
+
+def run_experiment(cluster=None):
+    cluster = cluster or ClusterSpec.ecs(16)
+    results = {}
+    for name in DATASETS:
+        times = {}
+        for label, engine, comm in VARIANTS:
+            times[label] = epoch_time(engine, name, cluster=cluster, comm=comm)
+        results[name] = times
+    rows = []
+    for name, times in results.items():
+        base = times["DepCache"]
+        speedups = [
+            "-" if is_oom(times[label]) else f"{base / times[label]:.2f}x"
+            for label, _, _ in VARIANTS
+        ]
+        rows.append([name] + speedups)
+    print_table(
+        "Figure 9: normalized speedup over raw DepCache (GCN, 16-node ECS)",
+        ["dataset"] + [label for label, _, _ in VARIANTS],
+        rows,
+    )
+    paper_row(
+        "Hybrid/DepCache 1.63-10.34x; Hybrid/DepComm 1.24-1.68x; "
+        "R ~1.10-1.15x, L ~1.08-1.12x, P ~1.19-1.41x"
+    )
+    return results
+
+
+def test_fig9_gain_analysis(benchmark):
+    results = run_experiment()
+    for name, times in results.items():
+        hybrid = times["Hybrid"]
+        # Hybrid at least matches the best single strategy (within 15%;
+        # the greedy heuristic leaves a small gap on cache-dominant
+        # graphs like Google, where the paper also reports parity).
+        assert hybrid <= min(times["DepCache"], times["DepComm"]) * 1.15, name
+        # Each optimization is monotone.
+        assert times["Hybrid+R"] <= hybrid
+        assert times["Hybrid+RL"] <= times["Hybrid+R"]
+        assert times["Hybrid+RLP (NTS)"] <= times["Hybrid+RL"]
+        # Full optimization pays off noticeably.
+        assert hybrid / times["Hybrid+RLP (NTS)"] > 1.1, name
+    # On dense graphs Hybrid crushes DepCache.
+    assert results["reddit"]["DepCache"] / results["reddit"]["Hybrid"] > 3.0
+    # On Google, Hybrid ~ DepCache (paper: "nearly same performance").
+    google = results["google"]
+    assert google["Hybrid"] <= google["DepCache"] * 1.15
+    benchmark(
+        lambda: epoch_time(
+            "hybrid", "wiki", cluster=ClusterSpec.ecs(16), comm=CommOptions.all()
+        )
+    )
+
+
+if __name__ == "__main__":
+    run_experiment()

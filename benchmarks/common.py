@@ -1,0 +1,86 @@
+"""Shared helpers for the per-table/per-figure benchmark harnesses.
+
+Every ``bench_*.py`` module regenerates one table or figure of the
+paper's evaluation section: it prints the same rows/series the paper
+reports and asserts the headline *shape* (who wins, by roughly what
+factor).  Each module is runnable directly (``python
+benchmarks/bench_fig10_overall.py``) and through
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cluster.memory import OutOfMemoryError
+from repro.cluster.spec import ClusterSpec
+from repro.comm.scheduler import CommOptions
+from repro.core.model import GNNModel
+from repro.engines import SharedMemoryEngine, make_engine
+from repro.graph.datasets import load_dataset, spec_of
+from repro.training.prep import prepare_graph
+from repro.utils import render_table
+
+OOM = float("nan")
+
+
+def build_engine(
+    engine_name: str,
+    dataset: str,
+    arch: str = "gcn",
+    cluster: Optional[ClusterSpec] = None,
+    comm: CommOptions = CommOptions.all(),
+    hidden: Optional[int] = None,
+    scale: float = 1.0,
+    seed: int = 1,
+    **kwargs,
+):
+    """Construct an engine on a prepared catalog dataset."""
+    graph = prepare_graph(load_dataset(dataset, scale=scale), arch)
+    spec = spec_of(dataset)
+    model = GNNModel.build(
+        arch, graph.feature_dim, hidden or spec.hidden_dim,
+        graph.num_classes, seed=seed,
+    )
+    cluster = cluster or ClusterSpec.ecs(16)
+    if engine_name in SharedMemoryEngine.VARIANTS:
+        kwargs.setdefault("paper_num_vertices", spec.paper_num_vertices)
+        return SharedMemoryEngine(
+            graph, model, cluster=cluster, variant=engine_name, **kwargs
+        )
+    return make_engine(engine_name, graph, model, cluster, comm=comm, **kwargs)
+
+
+def epoch_time(engine_name: str, dataset: str, **kwargs) -> float:
+    """Modeled per-epoch seconds, or NaN on out-of-memory."""
+    try:
+        engine = build_engine(engine_name, dataset, **kwargs)
+        return engine.charge_epoch()
+    except OutOfMemoryError:
+        return OOM
+
+
+def is_oom(value: float) -> bool:
+    return value != value  # NaN
+
+
+def fmt_time(seconds: float, unit: str = "ms") -> str:
+    if is_oom(seconds):
+        return "OOM"
+    if unit == "ms":
+        return f"{seconds * 1e3:.2f}"
+    return f"{seconds:.2f}"
+
+
+def fmt_ratio(value: float) -> str:
+    return "-" if is_oom(value) else f"{value:.2f}x"
+
+
+def print_table(title: str, headers, rows) -> None:
+    print()
+    print(f"### {title}")
+    print(render_table(headers, rows))
+
+
+def paper_row(note: str) -> None:
+    print(f"    (paper: {note})")

@@ -1,0 +1,7 @@
+"""Benchmarks are discovered as pytest tests; keep module imports local."""
+
+import sys
+from pathlib import Path
+
+# Make `import common` work when pytest is launched from the repo root.
+sys.path.insert(0, str(Path(__file__).parent))

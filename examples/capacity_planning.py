@@ -1,0 +1,68 @@
+"""Capacity planning: how many nodes does a training job need?
+
+Scenario: you must pick a cluster size and network tier for a recurring
+GNN training job under a deadline.  This example sweeps cluster sizes
+and network tiers for a GAT workload, detects out-of-memory
+configurations, and prints the cheapest configuration meeting the
+deadline -- the kind of what-if exploration the simulator makes free.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import dataclasses
+
+from repro import ClusterSpec, GNNModel, load_dataset, make_engine
+from repro.cluster.device import T4, V100
+from repro.cluster.memory import OutOfMemoryError
+from repro.cluster.network import ECS_NETWORK, IBV_NETWORK
+from repro.training import prepare_graph
+
+EPOCHS = 200
+DEADLINE_S = 1.5  # modeled cluster seconds for the whole job
+
+# Toy price model: V100 nodes cost 3x a T4 node; InfiniBand adds 20%.
+TIERS = [
+    ("T4 + Ethernet", T4, ECS_NETWORK, 1.0),
+    ("V100 + InfiniBand", V100, IBV_NETWORK, 3.6),
+]
+
+
+def main():
+    graph = prepare_graph(load_dataset("orkut"), "gat")
+    print(f"Workload: GAT on {graph!r}, {EPOCHS} epochs, "
+          f"deadline {DEADLINE_S:.1f}s of cluster time\n")
+
+    candidates = []
+    print(f"{'configuration':<28} {'nodes':>5} {'epoch ms':>9} "
+          f"{'job time':>9} {'rel. cost':>9}")
+    for label, device, network, node_price in TIERS:
+        for nodes in [2, 4, 8, 16]:
+            cluster = ClusterSpec(nodes, device=device, network=network,
+                                  name=label)
+            model = GNNModel.gat(graph.feature_dim, 160,
+                                 graph.num_classes, seed=0)
+            try:
+                engine = make_engine("hybrid", graph, model, cluster)
+                epoch_s = engine.charge_epoch()
+            except OutOfMemoryError:
+                print(f"{label:<28} {nodes:>5} {'OOM':>9}")
+                continue
+            job_s = epoch_s * EPOCHS
+            cost = nodes * node_price * job_s
+            meets = job_s <= DEADLINE_S
+            candidates.append((cost, label, nodes, job_s, meets))
+            marker = " <- meets deadline" if meets else ""
+            print(f"{label:<28} {nodes:>5} {epoch_s * 1e3:>9.2f} "
+                  f"{job_s:>8.2f}s {cost:>9.2f}{marker}")
+
+    feasible = [c for c in candidates if c[4]]
+    if feasible:
+        cost, label, nodes, job_s, _ = min(feasible)
+        print(f"\nCheapest deadline-meeting configuration: "
+              f"{nodes}x {label} ({job_s:.2f}s, relative cost {cost:.2f})")
+    else:
+        print("\nNo configuration meets the deadline; relax it or add tiers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Build a custom GNN layer with the paper's dataflow API (Figure 5).
+
+The paper's programming model: users write only the parameterised
+``EdgeForward`` and ``VertexForward`` functions; the graph operations
+(``ScatterToEdge``, ``GatherByDst``) and the entire backward flow
+(``VertexBackward -> ScatterBackToEdge -> EdgeBackward -> GatherBySrc
+-> PostToDepNbr``) are supplied by the framework.  This example
+re-implements Figure 5's weighted GCN layer from scratch against the
+public ops API, plugs it into a model, and trains it distributed --
+the custom layer works with DepCache, DepComm, and Hybrid unchanged.
+
+Run:  python examples/custom_layer.py
+"""
+
+import numpy as np
+
+from repro import ClusterSpec, DistributedTrainer, GNNModel, load_dataset, make_engine
+from repro.core import ops
+from repro.core.layers import GNNLayer
+from repro.tensor import nn
+from repro.tensor.tensor import Tensor
+from repro.training import prepare_graph
+
+
+class MyGCNConv(GNNLayer):
+    """Figure 5's GCNconv, written against the public dataflow ops."""
+
+    def __init__(self, in_f, out_f, rng=None):
+        super().__init__(in_f, out_f)
+        self.W = nn.Linear(in_f, out_f, rng=rng)
+
+    # -- the two user-defined parameterised functions -------------------
+    def edge_udf(self, src, dst, weights):
+        """Compute and apply the edge weight (Figure 5's edge_udf)."""
+        return src * Tensor(weights.reshape(-1, 1))
+
+    def vertex_forward(self, h_dst, agg_msg):
+        """udf vertex update function (Figure 5's VertexForward)."""
+        return self.W(agg_msg).relu()
+
+    # -- the forward flow, mirroring Figure 5 line by line --------------
+    def forward(self, block, f_dst):
+        # f_src = GetFromDepNbr(graph, f_dst)   <- done by the engine:
+        #   f_dst already contains every dependent neighbor's row,
+        #   fetched remotely (DepComm) or recomputed locally (DepCache).
+        f_src, _ = ops.scatter_to_edge(block, f_dst)      # ScatterToEdge
+        msg = ops.edge_forward(block, f_src, None, self.edge_udf)  # EdgeForward
+        agg_msg = ops.gather_by_dst(block, msg, agg="sum")  # GatherByDst
+        return ops.vertex_forward(                          # VertexForward
+            block, f_dst, agg_msg, self.vertex_forward
+        )
+
+    # -- cost accounting so the simulator can time/size the layer -------
+    def dense_flops(self, block):
+        return float(self.W.flops(block.num_outputs))
+
+    def sparse_flops(self, block):
+        return 4.0 * block.num_edges * self.in_dim
+
+    def edge_tensor_bytes(self, block):
+        return block.num_edges * self.in_dim * 4
+
+
+def main():
+    graph = prepare_graph(load_dataset("reddit", scale=0.5), "gcn")
+    rng = np.random.default_rng(0)
+    model = GNNModel([
+        MyGCNConv(graph.feature_dim, 64, rng=rng),
+        MyGCNConv(64, graph.num_classes, rng=rng),
+    ])
+    # The final layer's relu is harmless for argmax prediction, but a
+    # polished layer would expose an activation switch like the library
+    # layers do.
+    engine = make_engine("hybrid", graph, model, ClusterSpec.ecs(4))
+    trainer = DistributedTrainer(engine, lr=0.02)
+    history = trainer.train(epochs=20, eval_every=5)
+    print("custom layer trained distributed:")
+    for point in history.convergence:
+        print(f"  epoch {point.epoch:>3}: loss {point.loss:.4f}, "
+              f"accuracy {point.accuracy * 100:.1f}%")
+    print("\nThe same layer ran under hybrid dependency management with")
+    print("no distribution-aware code: backward was auto-generated and")
+    print("cross-worker gradients routed by PostToDepNbr.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Sweep device/network constants to match Fig 2(a) shapes."""
+import dataclasses, itertools
+import numpy as np
+from repro import load_dataset, ClusterSpec, GNNModel, make_engine
+from repro.training import prepare_graph
+from repro.graph.datasets import spec_of
+from repro.cluster.device import T4
+from repro.cluster.network import ECS_NETWORK
+
+# paper Fig2a targets: DepCache_time/DepComm_time
+TARGETS = {'google': 1/1.23, 'livejournal': 1/1.03, 'pokec': 1.54, 'reddit': 7.76}
+
+def measure(sparse_mult, bw_mult, m=8):
+    device = dataclasses.replace(T4, sparse_flops_per_s=T4.sparse_flops_per_s/sparse_mult)
+    network = dataclasses.replace(ECS_NETWORK, bytes_per_s=ECS_NETWORK.bytes_per_s*bw_mult)
+    cluster = ClusterSpec(m, device=device, network=network, name='cal')
+    out = {}
+    for name in TARGETS:
+        g = prepare_graph(load_dataset(name), 'gcn')
+        spec = spec_of(name)
+        times = {}
+        for en in ['depcache','depcomm']:
+            model = GNNModel.gcn(g.feature_dim, spec.hidden_dim, g.num_classes, seed=1)
+            eng = make_engine(en, g, model, cluster)
+            times[en] = eng.charge_epoch()
+        out[name] = times['depcache']/times['depcomm']
+    return out
+
+for sm, bm in itertools.product([1,3,6,10,20],[1,2,4]):
+    r = measure(sm, bm)
+    score = sum(abs(np.log(r[k]/TARGETS[k])) for k in TARGETS)
+    print(f"sparse/{sm:2d} bw x{bm}: " + " ".join(f"{k}={r[k]:5.2f}" for k in r) + f"  score={score:.2f}")

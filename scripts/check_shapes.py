@@ -1,0 +1,75 @@
+"""Verify calibrated shapes: Fig 2(a) ratios + OOM matrix."""
+import numpy as np
+from repro import load_dataset, ClusterSpec, GNNModel, make_engine
+from repro.engines import SharedMemoryEngine
+from repro.training import prepare_graph
+from repro.graph.datasets import spec_of, DATASETS
+from repro.cluster.memory import OutOfMemoryError
+
+cluster8 = ClusterSpec.ecs(8)
+cluster16 = ClusterSpec.ecs(16)
+
+print("== Fig 2(a): DepCache/DepComm ratio (8 nodes, GCN) ==")
+for name, target in [('google', 1/1.23), ('livejournal', 1/1.03), ('pokec', 1.54), ('reddit', 7.76)]:
+    g = prepare_graph(load_dataset(name), 'gcn')
+    spec = spec_of(name)
+    t = {}
+    for en in ['depcache','depcomm']:
+        model = GNNModel.gcn(g.feature_dim, spec.hidden_dim, g.num_classes, seed=1)
+        try:
+            t[en] = make_engine(en, g, model, cluster8).charge_epoch()
+        except OutOfMemoryError as e:
+            t[en] = None
+    r = t['depcache']/t['depcomm'] if t['depcache'] and t['depcomm'] else float('nan')
+    print(f"  {name:12s} ratio={r:5.2f} (paper {target:.2f})  cache={t['depcache']} comm={t['depcomm']}")
+
+print("\n== OOM matrix (16 nodes unless noted) ==")
+def status(engname, gname, arch, nodes=16):
+    g = prepare_graph(load_dataset(gname), arch)
+    spec = spec_of(gname)
+    model = GNNModel.build(arch, g.feature_dim, spec.hidden_dim, g.num_classes, seed=1)
+    cl = ClusterSpec.ecs(nodes)
+    try:
+        eng = make_engine(engname, g, model, cl)
+        t = eng.charge_epoch()
+        return f"{t*1000:7.1f}ms"
+    except OutOfMemoryError as e:
+        return f"OOM({e.label[:12]})"
+
+names = ['google','pokec','livejournal','reddit','orkut','wiki','twitter']
+for arch in ['gcn','gat']:
+    for en, nodes in [('depcache',16), ('roc',4)]:
+        row = " ".join(f"{n[:3]}={status(en,n,arch,nodes)}" for n in names)
+        print(f"  {arch} {en:9s}: {row}")
+
+print("\n== Table 5 single-GPU (T4) ==")
+for gname in ['cora','citeseer','pubmed','google']:
+    g0 = load_dataset(gname)
+    spec = spec_of(gname)
+    row = [gname]
+    for variant in ['dgl','pyg','nts']:
+        g = prepare_graph(g0, 'gcn')
+        model = GNNModel.gcn(g.feature_dim, spec.hidden_dim, g.num_classes, seed=1)
+        try:
+            eng = SharedMemoryEngine(g, model, variant=variant, paper_num_vertices=spec.paper_num_vertices)
+            t = eng.charge_epoch()
+            row.append(f"{variant}={t*1000:.1f}ms")
+        except OutOfMemoryError as e:
+            row.append(f"{variant}=OOM")
+    print("  " + " ".join(row))
+
+print("\n== Table 4 CPU (DGL-CPU / PyG-CPU / NTS-CPU) ==")
+for gname in ['pubmed','google','pokec','livejournal']:
+    g0 = load_dataset(gname)
+    spec = spec_of(gname)
+    row = [gname]
+    for variant in ['dgl','pyg','nts']:
+        g = prepare_graph(g0, 'gcn')
+        model = GNNModel.gcn(g.feature_dim, spec.hidden_dim, g.num_classes, seed=1)
+        try:
+            eng = SharedMemoryEngine(g, model, cluster=ClusterSpec.cpu(), variant=variant, paper_num_vertices=spec.paper_num_vertices)
+            t = eng.charge_epoch()
+            row.append(f"{variant}={t*1000:.1f}ms")
+        except OutOfMemoryError:
+            row.append(f"{variant}=OOM")
+    print("  " + " ".join(row))

@@ -1,0 +1,56 @@
+"""Grid-search network constants against all Fig 2 + Fig 9 shapes."""
+import dataclasses, sys
+import numpy as np
+import repro.cluster.network as net
+import repro.cluster.spec as spec_mod
+from repro import load_dataset, ClusterSpec, GNNModel, make_engine
+from repro.training import prepare_graph
+from repro.graph.datasets import spec_of
+from repro.cluster.memory import OutOfMemoryError
+from repro.comm.scheduler import CommOptions
+
+def t(en, g, hid, nc, cluster, comm=CommOptions.none()):
+    model = GNNModel.gcn(g.feature_dim, hid, nc, seed=1)
+    try:
+        return make_engine(en, g, model, cluster, comm=comm).charge_epoch()
+    except OutOfMemoryError:
+        return float('nan')
+
+def evaluate(bw, lat):
+    ecs = dataclasses.replace(net.ECS_NETWORK, bytes_per_s=bw, latency_s=lat)
+    ibv = dataclasses.replace(net.IBV_NETWORK)
+    cl8 = ClusterSpec(8, network=ecs, name='ECS')
+    cl16 = ClusterSpec(16, network=ecs, name='ECS')
+    out = {}
+    # Fig2a
+    for name in ['google','livejournal','pokec','reddit']:
+        g = prepare_graph(load_dataset(name),'gcn'); sp = spec_of(name)
+        out[f'2a_{name[:3]}'] = t('depcache',g,sp.hidden_dim,g.num_classes,cl8)/t('depcomm',g,sp.hidden_dim,g.num_classes,cl8)
+    # Fig2b google hidden
+    g = prepare_graph(load_dataset('google'),'gcn')
+    r64 = t('depcache',g,64,g.num_classes,cl8)/t('depcomm',g,64,g.num_classes,cl8)
+    r640 = t('depcache',g,640,g.num_classes,cl8)/t('depcomm',g,640,g.num_classes,cl8)
+    out['2b_64'] = r64; out['2b_640'] = r640
+    # Fig2c google IBV
+    cl_ibv = ClusterSpec(8, device=spec_mod.V100, network=ibv, name='IBV')
+    out['2c_ibv'] = t('depcache',g,256,g.num_classes,cl_ibv)/t('depcomm',g,256,g.num_classes,cl_ibv)
+    # hybrid dominance on all graphs (16 nodes, raw)
+    worst = 0
+    for name in ['google','pokec','livejournal','reddit','orkut','wiki','twitter']:
+        g2 = prepare_graph(load_dataset(name),'gcn'); sp = spec_of(name)
+        c = t('depcache',g2,sp.hidden_dim,g2.num_classes,cl16)
+        d = t('depcomm',g2,sp.hidden_dim,g2.num_classes,cl16)
+        h = t('hybrid',g2,sp.hidden_dim,g2.num_classes,cl16)
+        excess = h/min(c,d)
+        worst = max(worst, excess)
+    out['hyb_worst'] = worst
+    return out
+
+from repro.cluster.device import V100
+import repro.cluster.spec as spec_mod
+for bw in [0.75e9, 1.5e9, 3e9]:
+    for lat in [2e-5, 5e-5, 1e-4, 2e-4]:
+        o = evaluate(bw, lat)
+        print(f"bw={bw/1e9:4.2f}G lat={lat*1e6:5.0f}us | " +
+              f"goo={o['2a_goo']:.2f}(.81) liv={o['2a_liv']:.2f}(.97) pok={o['2a_pok']:.2f}(1.5) red={o['2a_red']:.2f}(7.8) | " +
+              f"h64={o['2b_64']:.2f} h640={o['2b_640']:.2f} (want h64>h640... h64>1>h640 ideal) | ibv={o['2c_ibv']:.2f}(1.4) | hyb_excess={o['hyb_worst']:.2f}")

@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the Table-2 dataset catalog (scaled and paper sizes).
+``probe``
+    Probe the environment constants T_v / T_e / T_c for a model on a
+    cluster (Algorithm 4, line 1).
+``train``
+    Train a model with a chosen engine on a simulated cluster; reports
+    real loss/accuracy and modeled cluster time, optionally saving a
+    checkpoint.
+``compare``
+    Per-epoch modeled time of DepCache vs DepComm vs Hybrid on one
+    dataset (the Figure 2 / Figure 9 workflow as one command).
+``analyze``
+    Structural report (degree skew, locality, replication factor) and
+    a strategy recommendation for a dataset under a partitioning.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cluster.memory import OutOfMemoryError
+from repro.cluster.spec import ClusterSpec
+from repro.comm.scheduler import CommOptions
+from repro.core.model import GNNModel
+from repro.costmodel.probe import probe_constants
+from repro.engines import make_engine
+from repro.graph.datasets import DATASETS, load_dataset, spec_of
+from repro.training.checkpoint import save_checkpoint
+from repro.training.prep import prepare_graph
+from repro.training.trainer import DistributedTrainer
+from repro.utils import render_table
+
+
+def _cluster(args) -> ClusterSpec:
+    if args.cluster == "ecs":
+        return ClusterSpec.ecs(args.nodes)
+    if args.cluster == "ibv":
+        return ClusterSpec.ibv(args.nodes)
+    return ClusterSpec.cpu(args.nodes)
+
+
+def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=8,
+                        help="number of simulated workers (default 8)")
+    parser.add_argument("--cluster", choices=["ecs", "ibv", "cpu"],
+                        default="ecs", help="hardware profile (default ecs)")
+
+
+def _add_model_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", required=True,
+                        help="catalog dataset name (see `datasets`)")
+    parser.add_argument("--arch", choices=["gcn", "gin", "gat", "sage"],
+                        default="gcn")
+    parser.add_argument("--hidden", type=int, default=None,
+                        help="hidden width (default: the dataset's Table-2 value)")
+    parser.add_argument("--layers", type=int, default=2)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="dataset scale factor (default 1.0)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _build(args, engine_name: str, comm: CommOptions = CommOptions.all()):
+    graph = prepare_graph(load_dataset(args.dataset, scale=args.scale), args.arch)
+    spec = spec_of(args.dataset)
+    model = GNNModel.build(
+        args.arch, graph.feature_dim, args.hidden or spec.hidden_dim,
+        graph.num_classes, num_layers=args.layers, seed=args.seed,
+    )
+    engine = make_engine(engine_name, graph, model, _cluster(args), comm=comm)
+    return graph, model, engine
+
+
+def cmd_datasets(_args) -> int:
+    rows = []
+    for spec in DATASETS.values():
+        rows.append([
+            spec.name, str(spec.num_vertices), str(spec.num_edges),
+            f"{spec.avg_degree:.1f}", str(spec.feature_dim),
+            str(spec.num_labels), str(spec.hidden_dim),
+            spec.paper_vertices, spec.paper_edges,
+        ])
+    print(render_table(
+        ["name", "|V|", "|E|", "deg", "ftr", "#L", "hid",
+         "paper |V|", "paper |E|"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_probe(args) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale)
+    spec = spec_of(args.dataset)
+    model = GNNModel.build(
+        args.arch, graph.feature_dim, args.hidden or spec.hidden_dim,
+        graph.num_classes, num_layers=args.layers, seed=args.seed,
+    )
+    constants = probe_constants(_cluster(args), model)
+    print(f"Probed constants ({args.cluster}, {args.arch} on {args.dataset}):")
+    rows = []
+    for l in range(1, model.num_layers + 1):
+        rows.append([
+            str(l), f"{constants.vertex_cost(l):.3e}",
+            f"{constants.edge_cost(l):.3e}", f"{constants.comm_cost(l):.3e}",
+        ])
+    print(render_table(["layer", "T_v (s/vertex)", "T_e (s/edge)",
+                        "T_c (s/dep)"], rows))
+    return 0
+
+
+def cmd_train(args) -> int:
+    graph, model, engine = _build(args, args.engine)
+    try:
+        plan = engine.plan()
+    except OutOfMemoryError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    if hasattr(plan, "cache_ratio"):
+        print(f"plan: {plan.cache_ratio() * 100:.0f}% of remote "
+              f"dependencies cached")
+    trainer = DistributedTrainer(engine, lr=args.lr)
+    history = trainer.train(epochs=args.epochs, eval_every=args.eval_every)
+    rows = [
+        [str(p.epoch), f"{p.loss:.4f}", f"{p.accuracy * 100:.2f}%",
+         f"{p.time_s:.3f}s"]
+        for p in history.convergence
+    ]
+    print(render_table(["epoch", "loss", "accuracy", "cluster time"], rows))
+    print(f"best accuracy {history.best_accuracy() * 100:.2f}%, "
+          f"avg epoch {history.avg_epoch_time_s * 1e3:.2f} ms")
+    if args.checkpoint:
+        path = save_checkpoint(
+            model, args.checkpoint,
+            dataset=args.dataset, arch=args.arch,
+            epochs=args.epochs, accuracy=history.best_accuracy(),
+        )
+        print(f"checkpoint written to {path}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.analysis import analyze_dependencies, analyze_graph, recommend_strategy
+    from repro.partition import get_partitioner
+
+    graph = prepare_graph(load_dataset(args.dataset, scale=args.scale), args.arch)
+    report = analyze_graph(graph)
+    print(f"{args.dataset}: |V|={report.num_vertices} |E|={report.num_edges} "
+          f"deg={report.avg_degree:.1f} gini={report.degree_gini:.2f} "
+          f"locality={report.chunk_locality:.2f}")
+    partitioning = get_partitioner(args.partitioner)(graph, args.nodes)
+    deps = analyze_dependencies(graph, partitioning, num_layers=args.layers)
+    print(f"partitioning: {args.partitioner} x {args.nodes} -> "
+          f"replication {deps.replication_factor:.2f}x, "
+          f"{deps.comm_bytes_per_layer / 1e6:.2f} MB/layer communicated")
+    print(f"recommendation: {recommend_strategy(graph, partitioning, args.layers)}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    rows = []
+    times = {}
+    for engine_name in ["depcache", "depcomm", "hybrid"]:
+        try:
+            _, _, engine = _build(args, engine_name)
+            t = engine.charge_epoch()
+            times[engine_name] = t
+            extra = ""
+            if engine_name == "hybrid":
+                extra = f"{engine.plan().cache_ratio() * 100:.0f}% cached"
+            rows.append([engine_name, f"{t * 1e3:.2f}", extra])
+        except OutOfMemoryError as err:
+            rows.append([engine_name, "OOM", err.label])
+    print(render_table(["engine", "epoch ms", "notes"], rows))
+    if times:
+        best = min(times, key=times.get)
+        print(f"best: {best}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NeutronStar reproduction: distributed GNN training "
+                    "with hybrid dependency management",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the dataset catalog")
+
+    probe = sub.add_parser("probe", help="probe T_v/T_e/T_c")
+    _add_model_args(probe)
+    _add_cluster_args(probe)
+
+    train = sub.add_parser("train", help="train a model")
+    _add_model_args(train)
+    _add_cluster_args(train)
+    train.add_argument("--engine", default="hybrid",
+                       choices=["depcache", "depcomm", "hybrid", "distdgl"])
+    train.add_argument("--epochs", type=int, default=30)
+    train.add_argument("--lr", type=float, default=0.01)
+    train.add_argument("--eval-every", type=int, default=5)
+    train.add_argument("--checkpoint", default=None,
+                       help="path to save the trained model (.npz)")
+
+    compare = sub.add_parser(
+        "compare", help="compare DepCache/DepComm/Hybrid epoch times"
+    )
+    _add_model_args(compare)
+    _add_cluster_args(compare)
+
+    analyze = sub.add_parser(
+        "analyze", help="structural report + strategy recommendation"
+    )
+    _add_model_args(analyze)
+    _add_cluster_args(analyze)
+    analyze.add_argument("--partitioner", default="chunk",
+                         choices=["chunk", "hash", "fennel", "metis"])
+
+    return parser
+
+
+_COMMANDS = {
+    "datasets": cmd_datasets,
+    "probe": cmd_probe,
+    "train": cmd_train,
+    "compare": cmd_compare,
+    "analyze": cmd_analyze,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

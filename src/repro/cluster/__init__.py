@@ -1,0 +1,32 @@
+"""Simulated cluster: device/network profiles, memory, and timelines.
+
+The paper's evaluation hardware (Aliyun ECS T4 nodes on 6 Gbps
+Ethernet; a private V100 cluster on 100 Gbps InfiniBand) is modeled
+here.  Engines execute real numerical work and charge *modeled* time to
+per-worker timelines; per-epoch time is the synchronized maximum across
+workers.  See DESIGN.md section 5 for the timing model.
+"""
+
+from repro.cluster.device import DeviceProfile, T4, V100, CPU_XEON
+from repro.cluster.network import NetworkProfile, ECS_NETWORK, IBV_NETWORK
+from repro.cluster.memory import MemoryTracker, OutOfMemoryError
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.timeline import Timeline, Interval
+from repro.cluster.trace import save_chrome_trace, timeline_to_chrome_trace
+
+__all__ = [
+    "DeviceProfile",
+    "T4",
+    "V100",
+    "CPU_XEON",
+    "NetworkProfile",
+    "ECS_NETWORK",
+    "IBV_NETWORK",
+    "MemoryTracker",
+    "OutOfMemoryError",
+    "ClusterSpec",
+    "Timeline",
+    "Interval",
+    "save_chrome_trace",
+    "timeline_to_chrome_trace",
+]

@@ -1,0 +1,107 @@
+"""Compute device profiles.
+
+Effective (not peak) throughputs: GNN kernels are memory-bound sparse
+ops, so the effective FLOP rates are set well below datasheet peaks.
+``memory_bytes`` values are scaled down by the same ~1000x factor as the
+dataset catalog so that the paper's out-of-memory outcomes (DepCache on
+the largest graphs, all-cache GAT on Orkut, DGL/PyG on Google) reappear
+at laptop scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """A compute device attached to one worker.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    flops_per_s:
+        Effective dense-FLOP throughput for NN ops.
+    sparse_flops_per_s:
+        Effective throughput for graph (gather/scatter) ops, which are
+        memory-bandwidth-bound and much slower than GEMMs.
+    kernel_launch_s:
+        Fixed overhead per kernel launch.
+    pcie_bytes_per_s:
+        Host-to-device transfer bandwidth (chunks are staged through
+        host memory, Section 4.3).
+    memory_bytes:
+        Device memory budget (scaled, see module docstring).
+    cpu_flops_per_s:
+        Throughput of the host CPU attached to this device (used for
+        message packing and, for CPU profiles, all compute).
+    is_gpu:
+        Whether NN compute runs on the accelerator (utilization traces
+        split GPU vs CPU accordingly).
+    """
+
+    name: str
+    flops_per_s: float
+    sparse_flops_per_s: float
+    kernel_launch_s: float
+    pcie_bytes_per_s: float
+    memory_bytes: int
+    cpu_flops_per_s: float
+    is_gpu: bool = True
+
+    def dense_time(self, flops: float) -> float:
+        """Seconds to run ``flops`` of dense NN work (one kernel)."""
+        if flops <= 0:
+            return 0.0
+        return self.kernel_launch_s + flops / self.flops_per_s
+
+    def sparse_time(self, flops: float) -> float:
+        """Seconds to run ``flops`` of gather/scatter work (one kernel)."""
+        if flops <= 0:
+            return 0.0
+        return self.kernel_launch_s + flops / self.sparse_flops_per_s
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """Seconds to move ``num_bytes`` across PCIe."""
+        if num_bytes <= 0:
+            return 0.0
+        return num_bytes / self.pcie_bytes_per_s
+
+
+# NVIDIA Tesla T4 (Aliyun ecs.gn6i nodes): 8.1 TFLOPS fp32 peak; the
+# effective rates below assume ~50% GEMM efficiency and memory-bound
+# sparse ops.  Memory is the scaled stand-in for 16 GB.
+T4 = DeviceProfile(
+    name="T4",
+    flops_per_s=4.0e12,
+    sparse_flops_per_s=6.0e9,
+    kernel_launch_s=1.0e-5,
+    pcie_bytes_per_s=1.2e10,
+    memory_bytes=100 * 1024 * 1024,
+    cpu_flops_per_s=2.0e11,
+)
+
+# NVIDIA Tesla V100 (IBV cluster): 15.7 TFLOPS fp32 peak, 32 GB.
+V100 = DeviceProfile(
+    name="V100",
+    flops_per_s=8.0e12,
+    sparse_flops_per_s=1.5e10,
+    kernel_launch_s=8.0e-6,
+    pcie_bytes_per_s=1.4e10,
+    memory_bytes=200 * 1024 * 1024,
+    cpu_flops_per_s=3.0e11,
+)
+
+# A CPU-only profile (DGL-CPU / PyG-CPU baselines in Table 4).  "Device"
+# memory is host DRAM, so the budget is much larger.
+CPU_XEON = DeviceProfile(
+    name="CPU",
+    flops_per_s=1.5e11,
+    sparse_flops_per_s=1.2e9,
+    kernel_launch_s=2.0e-6,
+    pcie_bytes_per_s=5.0e10,
+    memory_bytes=135 * 1024 * 1024,
+    cpu_flops_per_s=1.5e11,
+    is_gpu=False,
+)

@@ -1,0 +1,84 @@
+"""Per-worker device memory accounting.
+
+Engines register every resident tensor (features, cached dependency
+closures, per-layer activations, edge tensors) against a budget; going
+over raises :class:`OutOfMemoryError`, reproducing the paper's "OOM"
+table entries.  Labels make the error actionable and let tests assert
+*what* blew the budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when a worker's resident bytes exceed its device budget."""
+
+    def __init__(self, worker: int, requested: int, used: int, budget: int, label: str):
+        self.worker = worker
+        self.requested = requested
+        self.used = used
+        self.budget = budget
+        self.label = label
+        super().__init__(
+            f"worker {worker}: allocating {requested} bytes for {label!r} "
+            f"would exceed device memory ({used} used of {budget})"
+        )
+
+
+class MemoryTracker:
+    """Tracks resident bytes per label for one worker."""
+
+    def __init__(self, worker: int, budget_bytes: int):
+        if budget_bytes <= 0:
+            raise ValueError("memory budget must be positive")
+        self.worker = worker
+        self.budget_bytes = int(budget_bytes)
+        self._used = 0
+        self._peak = 0
+        self._by_label: Dict[str, int] = {}
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def peak_bytes(self) -> int:
+        return self._peak
+
+    def allocate(self, num_bytes: int, label: str) -> None:
+        """Reserve ``num_bytes``; raises :class:`OutOfMemoryError` if over."""
+        num_bytes = int(num_bytes)
+        if num_bytes < 0:
+            raise ValueError("cannot allocate negative bytes")
+        if self._used + num_bytes > self.budget_bytes:
+            raise OutOfMemoryError(
+                self.worker, num_bytes, self._used, self.budget_bytes, label
+            )
+        self._used += num_bytes
+        self._peak = max(self._peak, self._used)
+        self._by_label[label] = self._by_label.get(label, 0) + num_bytes
+
+    def free(self, num_bytes: int, label: str) -> None:
+        """Release ``num_bytes`` previously allocated under ``label``."""
+        num_bytes = int(num_bytes)
+        held = self._by_label.get(label, 0)
+        if num_bytes > held:
+            raise ValueError(
+                f"freeing {num_bytes} bytes of {label!r} but only {held} held"
+            )
+        self._by_label[label] = held - num_bytes
+        self._used -= num_bytes
+
+    def free_all(self, label: str) -> None:
+        """Release everything held under ``label``."""
+        held = self._by_label.pop(label, 0)
+        self._used -= held
+
+    def breakdown(self) -> Dict[str, int]:
+        return {k: v for k, v in self._by_label.items() if v}
+
+    def reset(self) -> None:
+        self._used = 0
+        self._by_label.clear()

@@ -1,0 +1,71 @@
+"""Cluster specification: workers + device + network.
+
+``ClusterSpec`` bundles everything an engine needs to charge modeled
+time: how many workers, what accelerator each has, and what network
+connects them.  Factory methods mirror the paper's two testbeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List
+
+from repro.cluster.device import CPU_XEON, DeviceProfile, T4, V100
+from repro.cluster.memory import MemoryTracker
+from repro.cluster.network import ECS_NETWORK, IBV_NETWORK, LOOPBACK, NetworkProfile
+from repro.cluster.timeline import Timeline
+
+
+@dataclass
+class ClusterSpec:
+    """A homogeneous cluster of ``num_workers`` nodes.
+
+    The paper's testbeds:
+
+    - :meth:`ecs` -- Aliyun ECS: T4 GPU per node, 6 Gbps Ethernet
+      (the main 16-node evaluation cluster).
+    - :meth:`ibv` -- private cluster: V100 per node, 100 Gbps IB
+      (used in Figure 2(c)).
+    - :meth:`single_gpu` / :meth:`cpu` -- the single-machine baselines
+      of Tables 4 and 5.
+    """
+
+    num_workers: int
+    device: DeviceProfile = T4
+    network: NetworkProfile = ECS_NETWORK
+    name: str = "cluster"
+
+    def __post_init__(self):
+        if self.num_workers < 1:
+            raise ValueError("a cluster needs at least one worker")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def ecs(cls, num_workers: int = 16) -> "ClusterSpec":
+        return cls(num_workers, device=T4, network=ECS_NETWORK, name="ECS")
+
+    @classmethod
+    def ibv(cls, num_workers: int = 8) -> "ClusterSpec":
+        return cls(num_workers, device=V100, network=IBV_NETWORK, name="IBV")
+
+    @classmethod
+    def single_gpu(cls, device: DeviceProfile = T4) -> "ClusterSpec":
+        return cls(1, device=device, network=LOOPBACK, name="single-gpu")
+
+    @classmethod
+    def cpu(cls, num_workers: int = 1) -> "ClusterSpec":
+        return cls(num_workers, device=CPU_XEON, network=LOOPBACK, name="cpu")
+
+    # ------------------------------------------------------------------
+    def with_workers(self, num_workers: int) -> "ClusterSpec":
+        """Same hardware, different node count (Figure 12 scaling)."""
+        return replace(self, num_workers=num_workers)
+
+    def make_timeline(self, record: bool = True) -> Timeline:
+        return Timeline(self.num_workers, record=record)
+
+    def make_memory_trackers(self) -> List[MemoryTracker]:
+        return [
+            MemoryTracker(i, self.device.memory_bytes)
+            for i in range(self.num_workers)
+        ]

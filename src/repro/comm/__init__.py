@@ -1,0 +1,24 @@
+"""Communication layer: chunked buffers, ring schedule, exchange model.
+
+Implements Section 4.3's three communication optimizations:
+
+- **R** -- ring-based task scheduling (:mod:`repro.comm.ring`);
+- **L** -- lock-free parallel message enqueuing
+  (:class:`repro.comm.buffers.PositionIndexedBuffer`);
+- **P** -- communication/computation overlapping
+  (:func:`repro.comm.scheduler.run_exchange`'s ``overlap`` option).
+"""
+
+from repro.comm.buffers import PositionIndexedBuffer, pack_by_destination
+from repro.comm.ring import ring_rounds, ring_partner
+from repro.comm.scheduler import CommOptions, ExchangeStats, run_exchange
+
+__all__ = [
+    "PositionIndexedBuffer",
+    "pack_by_destination",
+    "ring_rounds",
+    "ring_partner",
+    "CommOptions",
+    "ExchangeStats",
+    "run_exchange",
+]

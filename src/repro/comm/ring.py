@@ -1,0 +1,34 @@
+"""Ring-based communication schedule (Section 4.3, Figure 8).
+
+Worker ``i`` sends its ``j``-th output chunk to worker
+``(i + j + 1) % m``.  In round ``j`` every worker sends to a distinct
+receiver (the map ``i -> (i + j + 1) % m`` is a permutation), so no two
+workers ever target the same destination simultaneously -- the property
+that avoids receiver-NIC congestion.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def ring_partner(worker: int, round_index: int, num_workers: int) -> int:
+    """Destination of ``worker``'s chunk in round ``round_index``."""
+    if num_workers < 1:
+        raise ValueError("num_workers must be positive")
+    return (worker + round_index + 1) % num_workers
+
+
+def ring_rounds(num_workers: int) -> List[List[Tuple[int, int]]]:
+    """All ``m - 1`` rounds of (sender, receiver) pairs.
+
+    Every round is a perfect matching of senders to distinct receivers;
+    over all rounds each ordered pair (i, j), i != j, appears exactly
+    once.
+    """
+    rounds = []
+    for j in range(num_workers - 1):
+        rounds.append(
+            [(i, ring_partner(i, j, num_workers)) for i in range(num_workers)]
+        )
+    return rounds

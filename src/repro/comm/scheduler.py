@@ -1,0 +1,174 @@
+"""The exchange-phase timing model.
+
+One call to :func:`run_exchange` models one BSP superstep of a layer:
+every worker packs its outgoing chunks, the chunks travel, and every
+worker runs its compute for the step.  The three Section 4.3
+optimizations map to :class:`CommOptions` flags:
+
+- ``ring`` -- removes receiver-NIC congestion (distinct receivers per
+  round, Figure 8);
+- ``lock_free`` -- removes the mutex contention multiplier from message
+  packing;
+- ``overlap`` -- pipelines chunk communication with chunk compute, so
+  the phase costs ``max(comm, compute)`` plus a pipeline-fill term
+  instead of ``comm + compute``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.network import NetworkProfile
+from repro.cluster.timeline import CPU, GPU, NET_RECV, NET_SEND, Timeline
+
+
+@dataclass(frozen=True)
+class CommOptions:
+    """Which of the paper's communication optimizations are enabled."""
+
+    ring: bool = False
+    lock_free: bool = False
+    overlap: bool = False
+
+    @classmethod
+    def none(cls) -> "CommOptions":
+        """Raw engine: no optimizations (Figure 9's baselines)."""
+        return cls(False, False, False)
+
+    @classmethod
+    def all(cls) -> "CommOptions":
+        """Full NeutronStar: R + L + P."""
+        return cls(True, True, True)
+
+    def label(self) -> str:
+        tags = [
+            tag
+            for tag, enabled in (("R", self.ring), ("L", self.lock_free), ("P", self.overlap))
+            if enabled
+        ]
+        return "+".join(tags) if tags else "raw"
+
+
+@dataclass
+class ExchangeStats:
+    """Per-phase accounting (seconds / bytes, per worker)."""
+
+    pack_s: np.ndarray
+    send_s: np.ndarray
+    recv_s: np.ndarray
+    compute_s: np.ndarray
+    phase_s: np.ndarray
+    total_bytes: int
+
+    @property
+    def makespan(self) -> float:
+        return float(self.phase_s.max()) if len(self.phase_s) else 0.0
+
+
+def run_exchange(
+    timeline: Timeline,
+    network: NetworkProfile,
+    volumes: np.ndarray,
+    chunk_compute: Optional[np.ndarray] = None,
+    local_compute: Optional[np.ndarray] = None,
+    options: CommOptions = CommOptions(),
+    barrier: bool = True,
+    bytes_per_message: float = 0.0,
+) -> ExchangeStats:
+    """Charge one exchange-and-compute superstep to the timeline.
+
+    Parameters
+    ----------
+    volumes:
+        ``volumes[s, r]`` bytes sent from worker ``s`` to worker ``r``
+        (diagonal ignored).
+    chunk_compute:
+        ``chunk_compute[s, r]`` seconds receiver ``r`` spends computing
+        on the chunk from sender ``s`` (DepComm work).
+    local_compute:
+        Per-worker seconds of communication-independent compute (the
+        DepCache share of a Hybrid layer, or local edges); overlappable.
+    barrier:
+        Synchronise all clocks at the end of the phase (BSP semantics).
+    bytes_per_message:
+        Size of one per-vertex message; used to derive the enqueue count
+        each chunk pays (``chunk_bytes / bytes_per_message``).  0 means
+        one enqueue per chunk.
+    """
+    m = timeline.num_workers
+    volumes = np.asarray(volumes, dtype=np.float64)
+    if volumes.shape != (m, m):
+        raise ValueError(f"volumes must be {m}x{m}, got {volumes.shape}")
+    off_diag = ~np.eye(m, dtype=bool)
+    if chunk_compute is None:
+        chunk_compute = np.zeros((m, m))
+    if local_compute is None:
+        local_compute = np.zeros(m)
+
+    pack_s = np.zeros(m)
+    send_s = np.zeros(m)
+    recv_s = np.zeros(m)
+    compute_s = np.zeros(m)
+    phase_s = np.zeros(m)
+    congested = not options.ring
+
+    for i in range(m):
+        sends = [volumes[i, j] for j in range(m) if j != i and volumes[i, j] > 0]
+        recvs = [volumes[j, i] for j in range(m) if j != i and volumes[j, i] > 0]
+        pack_s[i] = sum(
+            network.pack_time(
+                b,
+                num_messages=(
+                    int(round(b / bytes_per_message)) if bytes_per_message else 1
+                ),
+                lock_free=options.lock_free,
+            )
+            for b in sends
+        )
+        send_s[i] = sum(network.wire_time(b) for b in sends)
+        recv_s[i] = sum(network.wire_time(b, congested=congested) for b in recvs)
+        compute_s[i] = local_compute[i] + sum(
+            chunk_compute[j, i] for j in range(m) if j != i
+        )
+
+        start = timeline.now(i)
+        # CPU packing always precedes the wire.
+        timeline.advance(i, CPU, pack_s[i])
+        t_comm_start = timeline.now(i)
+        comm = max(send_s[i], recv_s[i])  # full-duplex NIC
+        recv_bytes = int(sum(recvs))
+        if options.overlap and compute_s[i] > 0 and comm > 0:
+            # Pipeline: first chunk must arrive before compute starts.
+            fill = min(
+                (network.wire_time(b, congested=congested) for b in recvs),
+                default=0.0,
+            )
+            span = max(comm, fill + compute_s[i])
+            timeline.record_interval(i, NET_SEND, t_comm_start, send_s[i])
+            timeline.record_interval(
+                i, NET_RECV, t_comm_start, recv_s[i], num_bytes=recv_bytes
+            )
+            timeline.record_interval(i, GPU, t_comm_start + fill, compute_s[i])
+            timeline.advance_at_least_until(i, t_comm_start + span)
+        else:
+            timeline.record_interval(i, NET_SEND, t_comm_start, send_s[i])
+            timeline.record_interval(
+                i, NET_RECV, t_comm_start, recv_s[i], num_bytes=recv_bytes
+            )
+            timeline.advance_at_least_until(i, t_comm_start + comm)
+            timeline.advance(i, GPU, compute_s[i])
+        phase_s[i] = timeline.now(i) - start
+
+    if barrier:
+        timeline.barrier()
+    return ExchangeStats(
+        pack_s=pack_s,
+        send_s=send_s,
+        recv_s=recv_s,
+        compute_s=compute_s,
+        phase_s=phase_s,
+        total_bytes=int(volumes[off_diag].sum()),
+    )

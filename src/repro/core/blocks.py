@@ -1,0 +1,176 @@
+"""Layer blocks: the per-worker, per-layer unit of GNN computation.
+
+A :class:`LayerBlock` is what a worker executes at one layer: the set
+of vertices whose representations it *computes*, the set whose previous
+-layer representations it needs as *inputs*, and the induced edge set
+expressed as positions into those two row spaces.  Engines differ only
+in how they choose the compute sets (owned vertices for DepComm, k-hop
+closures for DepCache, a cost-model mixture for Hybrid) and in where
+the input rows come from (local memory vs the network); the block
+itself -- and therefore the numerical result -- is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+@dataclass
+class LayerBlock:
+    """One layer's computation unit on one worker.
+
+    Attributes
+    ----------
+    layer_index:
+        1-based layer number ``l`` (computes ``h^l`` from ``h^{l-1}``).
+    compute_vertices:
+        Global ids whose layer-``l`` representation this block produces
+        (sorted ascending).
+    input_vertices:
+        Global ids whose layer-``l-1`` representation the block reads
+        (sorted ascending; always a superset of ``compute_vertices`` so
+        self terms / attention destinations are available).
+    edge_src_pos / edge_dst_pos:
+        Per-edge positions: source row in the *input* space, destination
+        row in the *output* (compute) space.
+    edge_weight:
+        Per-edge scalar weights (GCN normalisation).
+    compute_pos_in_inputs:
+        For each compute vertex, its row in the input space (used for
+        self terms and attention destinations).
+    """
+
+    layer_index: int
+    compute_vertices: np.ndarray
+    input_vertices: np.ndarray
+    edge_src_pos: np.ndarray
+    edge_dst_pos: np.ndarray
+    edge_weight: np.ndarray
+    compute_pos_in_inputs: np.ndarray
+    edge_src_global: np.ndarray
+    edge_ids: np.ndarray
+    edge_features: Optional[np.ndarray] = None
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_src_pos)
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.input_vertices)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.compute_vertices)
+
+    def __repr__(self) -> str:
+        return (
+            f"LayerBlock(l={self.layer_index}, out={self.num_outputs}, "
+            f"in={self.num_inputs}, edges={self.num_edges})"
+        )
+
+
+def build_block(
+    graph: Graph,
+    compute_vertices: np.ndarray,
+    layer_index: int,
+    extra_inputs: Optional[np.ndarray] = None,
+) -> LayerBlock:
+    """Build the block computing ``h^l`` for ``compute_vertices``.
+
+    The edge set is every in-edge of a compute vertex; the input space
+    is the union of those edges' sources with the compute set itself
+    (plus ``extra_inputs`` if an engine needs extra rows resident).
+    """
+    compute_vertices = np.unique(np.asarray(compute_vertices, dtype=np.int64))
+    if len(compute_vertices) == 0:
+        raise ValueError("a block needs at least one compute vertex")
+    dsts, srcs, eids = graph.csc.select(compute_vertices)
+    pieces = [srcs, compute_vertices]
+    if extra_inputs is not None:
+        pieces.append(np.asarray(extra_inputs, dtype=np.int64))
+    input_vertices = np.unique(np.concatenate(pieces))
+
+    # Position lookups (global id -> row).
+    input_pos = _position_lookup(input_vertices)
+    output_pos = _position_lookup(compute_vertices)
+
+    return LayerBlock(
+        layer_index=layer_index,
+        compute_vertices=compute_vertices,
+        input_vertices=input_vertices,
+        edge_src_pos=input_pos[srcs],
+        edge_dst_pos=output_pos[dsts],
+        edge_weight=graph.edge_weight[eids],
+        compute_pos_in_inputs=input_pos[compute_vertices],
+        edge_src_global=srcs,
+        edge_ids=eids,
+        edge_features=(
+            graph.edge_features[eids]
+            if graph.edge_features is not None
+            else None
+        ),
+    )
+
+
+def build_block_from_edges(
+    graph: Graph,
+    compute_vertices: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    edge_ids: np.ndarray,
+    layer_index: int,
+) -> LayerBlock:
+    """Build a block over an explicit (sampled) edge list.
+
+    Used by the sampling engine: the edge set is a sampled subset of the
+    in-edges of ``compute_vertices`` rather than all of them.
+    """
+    compute_vertices = np.unique(np.asarray(compute_vertices, dtype=np.int64))
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    edge_ids = np.asarray(edge_ids, dtype=np.int64)
+    input_vertices = np.unique(np.concatenate([src, compute_vertices]))
+    input_pos = _position_lookup(input_vertices)
+    output_pos = _position_lookup(compute_vertices)
+    return LayerBlock(
+        layer_index=layer_index,
+        compute_vertices=compute_vertices,
+        input_vertices=input_vertices,
+        edge_src_pos=input_pos[src],
+        edge_dst_pos=output_pos[dst],
+        edge_weight=graph.edge_weight[edge_ids],
+        compute_pos_in_inputs=input_pos[compute_vertices],
+        edge_src_global=src,
+        edge_ids=edge_ids,
+        edge_features=(
+            graph.edge_features[edge_ids]
+            if graph.edge_features is not None
+            else None
+        ),
+    )
+
+
+def _position_lookup(sorted_ids: np.ndarray) -> "_Lookup":
+    return _Lookup(sorted_ids)
+
+
+class _Lookup:
+    """Maps global vertex ids to rows of a sorted id array."""
+
+    def __init__(self, sorted_ids: np.ndarray):
+        self.sorted_ids = sorted_ids
+
+    def __getitem__(self, ids: np.ndarray) -> np.ndarray:
+        pos = np.searchsorted(self.sorted_ids, ids)
+        if len(ids) and (
+            pos.max(initial=0) >= len(self.sorted_ids)
+            or not np.array_equal(self.sorted_ids[pos], ids)
+        ):
+            raise KeyError("id not present in block space")
+        return pos.astype(np.int64)

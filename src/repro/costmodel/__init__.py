@@ -1,0 +1,25 @@
+"""Hybrid dependency cost model (Section 3).
+
+- :mod:`repro.costmodel.probe` -- measures the environment-specific
+  constants ``T_v``, ``T_e``, ``T_c`` on a small test graph
+  (Algorithm 4, line 1).
+- :mod:`repro.costmodel.costs` -- the redundant-computation cost
+  ``t_r^l(u)`` (Eq. 1) and communication cost ``t_c^l(u)`` (Eq. 2).
+- :mod:`repro.costmodel.partitioner` -- the greedy dependency
+  partitioner (Algorithm 4) minimising Eq. 3 under the memory limit.
+"""
+
+from repro.costmodel.probe import ProbeResult, probe_constants
+from repro.costmodel.costs import DependencyCostModel
+from repro.costmodel.partitioner import (
+    DependencyPartition,
+    partition_dependencies,
+)
+
+__all__ = [
+    "ProbeResult",
+    "probe_constants",
+    "DependencyCostModel",
+    "DependencyPartition",
+    "partition_dependencies",
+]

@@ -1,0 +1,132 @@
+"""Per-dependency costs: Eq. 1 (redundant compute) and Eq. 2 (comm).
+
+``t_r^l(u)`` walks the dependency subtree rooted at ``u`` down to the
+features, counting only vertices/edges not already available locally
+(owned, or previously cached in ``V_rep``); ``t_c^l(u)`` is the flat
+per-vertex communication cost of layer ``l``.  Both are per-epoch
+(forward + backward) modeled seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.costmodel.probe import ProbeResult
+from repro.graph.graph import Graph
+
+
+@dataclass
+class SubtreeMeasurement:
+    """One evaluation of Eq. 1 for a dependency ``u`` at layer ``l``."""
+
+    cost_s: float
+    new_vertices: List[np.ndarray]  # per level k = l-1 .. 0 (h^k to compute)
+    new_edge_count: int
+    memory_bytes: int
+
+
+class DependencyCostModel:
+    """Evaluates t_r / t_c for one worker's dependency decisions.
+
+    Parameters
+    ----------
+    graph:
+        The (normalised) training graph.
+    dims:
+        ``[d^(0), ..., d^(L)]`` layer dimensions.
+    constants:
+        Probed :class:`ProbeResult`.
+    owned_mask:
+        Boolean mask of the worker's own vertices (``V_i``): never
+        counted as redundant.
+    mu:
+        Eq. 3's trimming factor for overlapped multi-hop dependencies.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        dims: List[int],
+        constants: ProbeResult,
+        owned_mask: np.ndarray,
+        mu: float = 1.0,
+    ):
+        if not 0 < mu <= 1:
+            raise ValueError("mu must be in (0, 1]")
+        self.graph = graph
+        self.dims = dims
+        self.constants = constants
+        self.owned_mask = owned_mask
+        self.mu = mu
+        # V_rep: vertices whose h^k is already locally (re)computed, per
+        # level k.  Level 0 entries mean "feature already cached".
+        self.replicated: List[np.ndarray] = [
+            np.zeros(graph.num_vertices, dtype=bool) for _ in range(len(dims))
+        ]
+
+    # ------------------------------------------------------------------
+    def t_c(self, layer: int) -> float:
+        """Eq. 2: communication cost of one dependency at ``layer``."""
+        return self.constants.comm_cost(layer)
+
+    def t_r(self, u: int, layer: int) -> SubtreeMeasurement:
+        """Eq. 1: redundant-computation cost of caching ``u`` at ``layer``.
+
+        Walks ``u``'s in-neighborhood down ``layer - 1`` levels; at each
+        level ``k`` (the layer whose representation must be recomputed)
+        it counts vertices and in-edges not owned and not already in
+        ``V_rep``, weighting by the per-layer probed costs.  Level 0
+        contributes memory (cached features) but no per-epoch compute.
+        """
+        graph = self.graph
+        csc = graph.csc
+        cost = 0.0
+        new_edge_count = 0
+        memory = 0
+        new_vertices: List[np.ndarray] = []
+        frontier = np.asarray([u], dtype=np.int64)
+        # Level k = layer-1 down to 1: h^k recomputed for the frontier.
+        for k in range(layer - 1, 0, -1):
+            rep = self.replicated[k]
+            fresh = frontier[~self.owned_mask[frontier] & ~rep[frontier]]
+            new_vertices.append(fresh)
+            if len(fresh):
+                _, sources, eids = csc.select(fresh)
+                edge_count = len(eids)
+                cost += self.mu * (
+                    len(fresh) * self.constants.vertex_cost(k)
+                    + edge_count * self.constants.edge_cost(k)
+                )
+                new_edge_count += edge_count
+                memory += len(fresh) * self.dims[k] * 4 + edge_count * 12
+                frontier = np.unique(sources)
+            else:
+                frontier = np.empty(0, dtype=np.int64)
+            if len(frontier) == 0:
+                break
+        # Level 0: features of the remaining frontier must be cached
+        # (one-time fetch, no per-epoch compute).
+        rep0 = self.replicated[0]
+        fresh0 = (
+            frontier[~self.owned_mask[frontier] & ~rep0[frontier]]
+            if len(frontier)
+            else frontier
+        )
+        new_vertices.append(fresh0)
+        memory += len(fresh0) * self.dims[0] * 4
+        return SubtreeMeasurement(
+            cost_s=cost,
+            new_vertices=new_vertices,
+            new_edge_count=new_edge_count,
+            memory_bytes=memory,
+        )
+
+    def commit(self, u: int, layer: int, measurement: SubtreeMeasurement) -> None:
+        """Add ``u``'s subtree to ``V_rep`` after deciding to cache it."""
+        levels = list(range(layer - 1, 0, -1)) + [0]
+        for k, fresh in zip(levels, measurement.new_vertices):
+            if len(fresh):
+                self.replicated[k][fresh] = True

@@ -1,0 +1,42 @@
+"""Training engines: the paper's strategies and its baselines."""
+
+from repro.engines.base import BaseEngine, EnginePlan, EpochReport
+from repro.engines.depcache import DepCacheEngine
+from repro.engines.depcomm import DepCommEngine
+from repro.engines.hybrid import HybridEngine
+from repro.engines.roc_like import RocLikeEngine
+from repro.engines.sampling import SamplingEngine
+from repro.engines.shared_memory import SharedMemoryEngine
+
+_ENGINES = {
+    "depcache": DepCacheEngine,
+    "depcomm": DepCommEngine,
+    "hybrid": HybridEngine,
+    "roc": RocLikeEngine,
+    "distdgl": SamplingEngine,
+    "sampling": SamplingEngine,
+}
+
+
+def make_engine(name: str, graph, model, cluster, **kwargs):
+    """Build an engine by name (depcache | depcomm | hybrid | roc | distdgl)."""
+    try:
+        engine_cls = _ENGINES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_ENGINES))
+        raise KeyError(f"unknown engine {name!r}; known: {known}") from None
+    return engine_cls(graph, model, cluster, **kwargs)
+
+
+__all__ = [
+    "BaseEngine",
+    "EnginePlan",
+    "EpochReport",
+    "DepCacheEngine",
+    "DepCommEngine",
+    "HybridEngine",
+    "RocLikeEngine",
+    "SamplingEngine",
+    "SharedMemoryEngine",
+    "make_engine",
+]

@@ -1,0 +1,61 @@
+"""Hybrid engine: Algorithm 4 decides caching vs communication per vertex.
+
+The NeutronStar strategy: probe the environment constants, score every
+remote dependency's redundant-computation cost (Eq. 1) against its
+communication cost (Eq. 2), and cache the cache-efficient ones under
+the memory budget; communicate the rest.  ``force_cache_fraction``
+bypasses the cost comparison to sweep the cache/comm ratio (Figure 11).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.costmodel.partitioner import partition_dependencies
+from repro.costmodel.probe import probe_constants
+from repro.engines.base import BaseEngine, HOST_MEMORY_BYTES
+
+# Modeled wall time of the probe run (a few training steps on a 64-
+# vertex test graph, Algorithm 4 line 1).
+_PROBE_SECONDS = 6.0e-3
+
+# By default Algorithm 4 may use this share of host memory for cached
+# dependency subtrees (the rest holds the worker's own data and tape).
+_DEFAULT_CACHE_BUDGET_FRACTION = 0.5
+
+
+class HybridEngine(BaseEngine):
+    """Cost-model-driven mixture of DepCache and DepComm."""
+
+    name = "hybrid"
+    chunked_execution = True
+    tape_location = "host"
+
+    def __init__(self, *args, force_cache_fraction: Optional[float] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        if force_cache_fraction is not None and not 0 <= force_cache_fraction <= 1:
+            raise ValueError("force_cache_fraction must be in [0, 1]")
+        self.force_cache_fraction = force_cache_fraction
+
+    def decide_dependencies(
+        self, worker: int
+    ) -> Tuple[List[np.ndarray], List[np.ndarray], float]:
+        if self.constants is None:
+            self.constants = probe_constants(self.cluster, self.model)
+        budget = self.memory_limit_bytes
+        if budget is None:
+            budget = int(HOST_MEMORY_BYTES * _DEFAULT_CACHE_BUDGET_FRACTION)
+        result = partition_dependencies(
+            self.graph,
+            self.partitioning,
+            worker,
+            self.dims,
+            self.constants,
+            memory_limit_bytes=budget,
+            mu=self.mu,
+            force_cache_fraction=self.force_cache_fraction,
+        )
+        prep = result.modeled_seconds + _PROBE_SECONDS
+        return result.cached, result.communicated, prep

@@ -1,0 +1,94 @@
+"""ROC-like baseline: DepComm with whole-block broadcast communication.
+
+Section 5.3's finding about ROC: "the ROC worker does not differentiate
+the output messages with various destinations and sends the whole
+messages block to all workers, where the remote workers pick the
+necessary dependencies from the block."  This engine reproduces that
+behaviour: identical numerics to DepComm, but every layer's exchange
+ships each worker's *entire* partition representations to every peer,
+received blocks stay resident on the device, and none of NeutronStar's
+R/L/P optimizations apply.  It also keeps the whole autograd tape in
+device memory (Section 5.8: ROC lacks chunked message computation),
+which is where its OOM cases come from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.scheduler import CommOptions
+from repro.engines.base import EnginePlan
+from repro.engines.depcomm import DepCommEngine
+
+
+class RocLikeEngine(DepCommEngine):
+    """DepComm numerics with ROC's broadcast communication pattern."""
+
+    name = "roc"
+    chunked_execution = False
+    tape_location = "device"
+    # ROC keeps separate forward and backward edge buffers plus receive
+    # staging (no free-after-use chunk management).
+    tape_multiplier = 2.5
+
+    def __init__(self, *args, **kwargs):
+        kwargs["comm"] = CommOptions.none()
+        super().__init__(*args, **kwargs)
+
+    def _forward_volumes(self, plan: EnginePlan, l: int) -> np.ndarray:
+        """Every worker broadcasts its whole partition block."""
+        m = self.cluster.num_workers
+        volumes = np.zeros((m, m))
+        d = self.dims[l - 1]
+        for s in range(m):
+            block_bytes = len(self.partitioning.part(s)) * d * 4
+            for r in range(m):
+                if r != s:
+                    volumes[s, r] = block_bytes
+        return volumes
+
+    def _backward_volumes(self, plan: EnginePlan, l: int) -> np.ndarray:
+        if l > 1:
+            return self._forward_volumes(plan, l).T
+        return np.zeros((self.cluster.num_workers,) * 2)
+
+    # CPU rate at which a receiver scans a broadcast block to pick out
+    # the dependencies it actually needs (the paper: "the remote workers
+    # pick the necessary dependencies from the block").
+    _FILTER_BYTES_PER_S = 2.0e9
+
+    def _charge_block_filtering(self, l: int) -> None:
+        """Receiver-side cost of scanning every peer's broadcast block
+        and staging it over PCIe -- ROC's defining inefficiency."""
+        from repro.cluster.timeline import CPU
+
+        m = self.cluster.num_workers
+        for r in range(m):
+            total = 0.0
+            for s in range(m):
+                if s == r:
+                    continue
+                block_bytes = len(self.partitioning.part(s)) * self.dims[l - 1] * 4
+                total += (
+                    block_bytes / self._FILTER_BYTES_PER_S
+                    + self.cluster.device.transfer_time(block_bytes)
+                )
+            self.timeline.advance(r, CPU, total)
+
+    def _charge_forward_layer(self, plan: EnginePlan, l: int) -> None:
+        self._charge_block_filtering(l)
+        super()._charge_forward_layer(plan, l)
+
+    def _charge_backward_layer(self, plan: EnginePlan, l: int) -> None:
+        if l > 1:
+            self._charge_block_filtering(l)
+        super()._charge_backward_layer(plan, l)
+
+    def _account_memory(self, plan: EnginePlan) -> None:
+        super()._account_memory(plan)
+        # Received peer blocks stay resident on the device while the
+        # layer executes: (|V| - |V_own|) rows of the widest layer.
+        widest = max(self.dims[:-1])
+        for w, tracker in enumerate(plan.device_memory):
+            remote_rows = self.graph.num_vertices - len(self.partitioning.part(w))
+            tracker.allocate(remote_rows * widest * 4, "received_blocks")

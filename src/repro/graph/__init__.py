@@ -1,0 +1,18 @@
+"""Graph storage, generators, and the paper's dataset catalog."""
+
+from repro.graph.graph import Graph
+from repro.graph.adjacency import Adjacency
+from repro.graph import generators
+from repro.graph.datasets import DATASETS, DatasetSpec, load_dataset
+from repro.graph.khop import khop_closure, dependency_layers
+
+__all__ = [
+    "Graph",
+    "Adjacency",
+    "generators",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "khop_closure",
+    "dependency_layers",
+]

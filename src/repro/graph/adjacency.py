@@ -1,0 +1,88 @@
+"""Compressed sparse adjacency (CSR/CSC) built from COO edge lists.
+
+The paper stores each chunk of edges in CSC for forward computation and
+CSR for backward computation (Section 4.3).  :class:`Adjacency` is the
+shared index structure: a permutation of edge ids grouped by a key
+vertex (source for CSR, destination for CSC) with an ``indptr`` offset
+array, so per-vertex edge ranges are O(1) slices.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class Adjacency:
+    """Edge ids grouped by a key vertex array.
+
+    Parameters
+    ----------
+    key:
+        Per-edge grouping vertex (``src`` for CSR, ``dst`` for CSC).
+    other:
+        The opposite endpoint of each edge.
+    num_vertices:
+        Total number of vertices (indptr length - 1).
+    """
+
+    def __init__(self, key: np.ndarray, other: np.ndarray, num_vertices: int):
+        if len(key) != len(other):
+            raise ValueError("key and other must have equal length")
+        order = np.argsort(key, kind="stable")
+        self.num_vertices = int(num_vertices)
+        self.edge_ids = order.astype(np.int64)
+        self.key = key[order]
+        self.other = other[order]
+        counts = np.bincount(key, minlength=num_vertices)
+        self.indptr = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)]
+        )
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.key)
+
+    def degree(self, vertex: int) -> int:
+        return int(self.indptr[vertex + 1] - self.indptr[vertex])
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Opposite endpoints of ``vertex``'s grouped edges."""
+        lo, hi = self.indptr[vertex], self.indptr[vertex + 1]
+        return self.other[lo:hi]
+
+    def edges_of(self, vertex: int) -> np.ndarray:
+        """Original edge ids of ``vertex``'s grouped edges."""
+        lo, hi = self.indptr[vertex], self.indptr[vertex + 1]
+        return self.edge_ids[lo:hi]
+
+    def neighbors_of_set(self, vertices: np.ndarray) -> np.ndarray:
+        """Unique opposite endpoints over a vertex set (BFS frontier step)."""
+        if len(vertices) == 0:
+            return np.empty(0, dtype=np.int64)
+        parts = [self.neighbors(int(v)) for v in np.asarray(vertices)]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(parts))
+
+    def select(self, vertices: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All grouped edges of a vertex set.
+
+        Returns ``(key_vertices, other_vertices, edge_ids)`` concatenated
+        over the set, preserving per-vertex order.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if len(vertices) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        spans = [
+            (self.indptr[v], self.indptr[v + 1]) for v in vertices
+        ]
+        keys = np.concatenate([self.key[lo:hi] for lo, hi in spans])
+        others = np.concatenate([self.other[lo:hi] for lo, hi in spans])
+        eids = np.concatenate([self.edge_ids[lo:hi] for lo, hi in spans])
+        return keys, others, eids

@@ -1,0 +1,233 @@
+"""The in-memory graph: COO edges + lazily-built CSR/CSC + node data.
+
+A :class:`Graph` carries everything Algorithm 1 needs: the edge list,
+per-vertex features ``h^(0)``, labels, train/val/test masks, and
+(optionally) per-edge weights.  CSR groups edges by source (used for
+backward scatter, ``GatherBySrc``); CSC groups them by destination
+(forward ``GatherByDst``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.adjacency import Adjacency
+
+
+class Graph:
+    """A directed graph with node features and labels.
+
+    Edges point ``src -> dst``; a GNN layer aggregates over *in*-edges,
+    i.e. vertex ``v`` reads the representations of the sources of edges
+    ``(u, v)``, exactly as in the paper's Algorithm 1.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        features: Optional[np.ndarray] = None,
+        labels: Optional[np.ndarray] = None,
+        num_classes: Optional[int] = None,
+        edge_weight: Optional[np.ndarray] = None,
+        edge_features: Optional[np.ndarray] = None,
+        name: str = "graph",
+    ):
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise ValueError("src/dst must be 1-D arrays of equal length")
+        if len(src) and (src.min() < 0 or src.max() >= num_vertices):
+            raise ValueError("src vertex id out of range")
+        if len(dst) and (dst.min() < 0 or dst.max() >= num_vertices):
+            raise ValueError("dst vertex id out of range")
+        self.num_vertices = int(num_vertices)
+        self.src = src
+        self.dst = dst
+        self.name = name
+        self.features = features
+        self.labels = labels
+        self.num_classes = num_classes
+        self.edge_weight = (
+            edge_weight.astype(np.float32)
+            if edge_weight is not None
+            else np.ones(len(src), dtype=np.float32)
+        )
+        if edge_features is not None and len(edge_features) != len(src):
+            raise ValueError("edge_features must have one row per edge")
+        self.edge_features = edge_features
+        self.train_mask: Optional[np.ndarray] = None
+        self.val_mask: Optional[np.ndarray] = None
+        self.test_mask: Optional[np.ndarray] = None
+        self._csr: Optional[Adjacency] = None
+        self._csc: Optional[Adjacency] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return len(self.src)
+
+    @property
+    def feature_dim(self) -> int:
+        if self.features is None:
+            raise ValueError(f"graph {self.name!r} has no features")
+        return self.features.shape[1]
+
+    @property
+    def avg_degree(self) -> float:
+        return self.num_edges / max(self.num_vertices, 1)
+
+    @property
+    def csr(self) -> Adjacency:
+        """Edges grouped by source vertex."""
+        if self._csr is None:
+            self._csr = Adjacency(self.src, self.dst, self.num_vertices)
+        return self._csr
+
+    @property
+    def csc(self) -> Adjacency:
+        """Edges grouped by destination vertex."""
+        if self._csc is None:
+            self._csc = Adjacency(self.dst, self.src, self.num_vertices)
+        return self._csc
+
+    def in_degrees(self) -> np.ndarray:
+        return np.bincount(self.dst, minlength=self.num_vertices)
+
+    def out_degrees(self) -> np.ndarray:
+        return np.bincount(self.src, minlength=self.num_vertices)
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(name={self.name!r}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges})"
+        )
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def with_self_loops(self) -> "Graph":
+        """Return a copy with one self-loop added to every vertex.
+
+        Existing self-loops are kept; GCN normalisation assumes each
+        vertex sees its own previous representation.
+        """
+        loops = np.arange(self.num_vertices, dtype=np.int64)
+        has_loop = np.zeros(self.num_vertices, dtype=bool)
+        has_loop[self.src[self.src == self.dst]] = True
+        new_loops = loops[~has_loop]
+        src = np.concatenate([self.src, new_loops])
+        dst = np.concatenate([self.dst, new_loops])
+        weight = np.concatenate(
+            [self.edge_weight, np.ones(len(new_loops), dtype=np.float32)]
+        )
+        edge_features = None
+        if self.edge_features is not None:
+            # Self loops carry zero edge features.
+            pad = np.zeros(
+                (len(new_loops), self.edge_features.shape[1]),
+                dtype=self.edge_features.dtype,
+            )
+            edge_features = np.concatenate([self.edge_features, pad])
+        out = Graph(
+            self.num_vertices,
+            src,
+            dst,
+            features=self.features,
+            labels=self.labels,
+            num_classes=self.num_classes,
+            edge_weight=weight,
+            edge_features=edge_features,
+            name=self.name,
+        )
+        out.train_mask = self.train_mask
+        out.val_mask = self.val_mask
+        out.test_mask = self.test_mask
+        return out
+
+    def gcn_normalized(self) -> "Graph":
+        """Self-loops + symmetric normalisation 1/sqrt(d_u * d_v).
+
+        This is the weighting GCN (Kipf & Welling) applies; engines use
+        these edge weights so that DepCache, DepComm, and Hybrid compute
+        bit-identical representations.
+        """
+        g = self.with_self_loops()
+        deg = g.in_degrees().astype(np.float64)
+        inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1.0))
+        g.edge_weight = (inv_sqrt[g.src] * inv_sqrt[g.dst]).astype(np.float32)
+        return g
+
+    def set_split(
+        self,
+        train_fraction: float = 0.6,
+        val_fraction: float = 0.2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """Assign boolean train/val/test masks over labelled vertices."""
+        if not 0 < train_fraction < 1 or not 0 <= val_fraction < 1:
+            raise ValueError("invalid split fractions")
+        if train_fraction + val_fraction >= 1:
+            raise ValueError("train + val fractions must leave room for test")
+        rng = rng or np.random.default_rng(0)
+        order = rng.permutation(self.num_vertices)
+        n_train = int(self.num_vertices * train_fraction)
+        n_val = int(self.num_vertices * val_fraction)
+        self.train_mask = np.zeros(self.num_vertices, dtype=bool)
+        self.val_mask = np.zeros(self.num_vertices, dtype=bool)
+        self.test_mask = np.zeros(self.num_vertices, dtype=bool)
+        self.train_mask[order[:n_train]] = True
+        self.val_mask[order[n_train : n_train + n_val]] = True
+        self.test_mask[order[n_train + n_val :]] = True
+
+    def induced_subgraph(self, vertices: np.ndarray) -> Tuple["Graph", np.ndarray]:
+        """Subgraph on ``vertices`` with relabelled ids.
+
+        Returns the subgraph and the old-id array such that new id ``i``
+        corresponds to old id ``vertices_sorted[i]``.
+        """
+        vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+        lookup = np.full(self.num_vertices, -1, dtype=np.int64)
+        lookup[vertices] = np.arange(len(vertices))
+        keep = (lookup[self.src] >= 0) & (lookup[self.dst] >= 0)
+        sub = Graph(
+            len(vertices),
+            lookup[self.src[keep]],
+            lookup[self.dst[keep]],
+            features=self.features[vertices] if self.features is not None else None,
+            labels=self.labels[vertices] if self.labels is not None else None,
+            num_classes=self.num_classes,
+            edge_weight=self.edge_weight[keep],
+            edge_features=(
+                self.edge_features[keep]
+                if self.edge_features is not None
+                else None
+            ),
+            name=f"{self.name}[sub]",
+        )
+        return sub, vertices
+
+    # ------------------------------------------------------------------
+    # Size accounting (memory model, Section 3's constraint S)
+    # ------------------------------------------------------------------
+    def feature_bytes(self) -> int:
+        if self.features is None:
+            return 0
+        return int(self.features.nbytes)
+
+    def structure_bytes(self) -> int:
+        return int(self.src.nbytes + self.dst.nbytes + self.edge_weight.nbytes)
+
+    def stats(self) -> Dict[str, float]:
+        """Summary statistics used by reports and tests."""
+        in_deg = self.in_degrees()
+        return {
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "avg_degree": self.avg_degree,
+            "max_in_degree": int(in_deg.max()) if self.num_vertices else 0,
+            "feature_dim": self.features.shape[1] if self.features is not None else 0,
+        }

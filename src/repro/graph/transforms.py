@@ -1,0 +1,141 @@
+"""Graph transforms: the preprocessing utilities real pipelines need.
+
+All transforms return new :class:`Graph` objects (or arrays) and leave
+their input untouched, matching the style of
+:meth:`Graph.gcn_normalized`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+def row_normalize_features(graph: Graph) -> Graph:
+    """L1-normalise each feature row (the classic GCN preprocessing).
+
+    Zero rows are left as zeros.
+    """
+    if graph.features is None:
+        raise ValueError("graph has no features to normalise")
+    sums = np.abs(graph.features).sum(axis=1, keepdims=True)
+    scale = np.divide(
+        1.0, sums, out=np.zeros_like(sums), where=sums > 0
+    )
+    out = _copy_with(graph, features=(graph.features * scale).astype(np.float32))
+    return out
+
+
+def add_degree_features(graph: Graph, log_scale: bool = True) -> Graph:
+    """Append in/out-degree columns to the feature matrix.
+
+    Degree features help models on graphs whose raw features are weak;
+    ``log_scale`` applies ``log1p`` so hubs do not dominate.
+    """
+    if graph.features is None:
+        raise ValueError("graph has no features to extend")
+    in_deg = graph.in_degrees().astype(np.float32)
+    out_deg = graph.out_degrees().astype(np.float32)
+    if log_scale:
+        in_deg, out_deg = np.log1p(in_deg), np.log1p(out_deg)
+    extended = np.concatenate(
+        [graph.features, in_deg[:, None], out_deg[:, None]], axis=1
+    )
+    return _copy_with(graph, features=extended.astype(np.float32))
+
+
+def to_undirected(graph: Graph) -> Graph:
+    """Add each edge's reverse (deduplicated); weights copied over."""
+    src = np.concatenate([graph.src, graph.dst])
+    dst = np.concatenate([graph.dst, graph.src])
+    weight = np.concatenate([graph.edge_weight, graph.edge_weight])
+    combined = src * graph.num_vertices + dst
+    _, keep = np.unique(combined, return_index=True)
+    keep.sort()
+    return _copy_with(
+        graph, src=src[keep], dst=dst[keep], edge_weight=weight[keep]
+    )
+
+
+def reverse_edges(graph: Graph) -> Graph:
+    """Flip every edge's direction (in-neighbors become out-neighbors)."""
+    return _copy_with(
+        graph, src=graph.dst.copy(), dst=graph.src.copy(),
+        edge_weight=graph.edge_weight.copy(),
+    )
+
+
+def largest_connected_component(graph: Graph) -> Tuple[Graph, np.ndarray]:
+    """Induced subgraph on the largest weakly connected component.
+
+    Returns ``(subgraph, old_ids)`` like :meth:`Graph.induced_subgraph`.
+    """
+    n = graph.num_vertices
+    component = np.full(n, -1, dtype=np.int64)
+    csr, csc = graph.csr, graph.csc
+    current = 0
+    for start in range(n):
+        if component[start] >= 0:
+            continue
+        queue = deque([start])
+        component[start] = current
+        while queue:
+            v = queue.popleft()
+            for u in np.concatenate([csr.neighbors(v), csc.neighbors(v)]):
+                if component[u] < 0:
+                    component[u] = current
+                    queue.append(int(u))
+        current += 1
+    sizes = np.bincount(component, minlength=current)
+    biggest = int(np.argmax(sizes))
+    return graph.induced_subgraph(np.where(component == biggest)[0])
+
+
+def remove_self_loops(graph: Graph) -> Graph:
+    """Drop all self loops (the inverse of :meth:`Graph.with_self_loops`)."""
+    keep = graph.src != graph.dst
+    return _copy_with(
+        graph,
+        src=graph.src[keep],
+        dst=graph.dst[keep],
+        edge_weight=graph.edge_weight[keep],
+        edge_features=(
+            graph.edge_features[keep]
+            if graph.edge_features is not None else None
+        ),
+    )
+
+
+def _copy_with(graph: Graph, **overrides) -> Graph:
+    """Rebuild a Graph with some fields replaced; masks carried over.
+
+    Callers that replace the edge set (``src`` in overrides) must pass a
+    matching ``edge_weight`` and, if they want them kept, matching
+    ``edge_features``; otherwise per-edge data are carried over as-is.
+    """
+    edges_changed = "src" in overrides
+    if edges_changed:
+        edge_weight = overrides["edge_weight"]
+        edge_features = overrides.get("edge_features")
+    else:
+        edge_weight = overrides.get("edge_weight", graph.edge_weight.copy())
+        edge_features = overrides.get("edge_features", graph.edge_features)
+    out = Graph(
+        graph.num_vertices,
+        overrides.get("src", graph.src),
+        overrides.get("dst", graph.dst),
+        features=overrides.get("features", graph.features),
+        labels=graph.labels,
+        num_classes=graph.num_classes,
+        edge_weight=edge_weight,
+        edge_features=edge_features,
+        name=graph.name,
+    )
+    out.train_mask = graph.train_mask
+    out.val_mask = graph.val_mask
+    out.test_mask = graph.test_mask
+    return out

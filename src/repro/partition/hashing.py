@@ -1,0 +1,22 @@
+"""Hash (modulo) partitioning: trivially balanced, locality-destroying.
+
+Used as the worst-case baseline in tests and ablations: it scatters
+neighborhoods uniformly, maximising remote dependencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.partition.base import Partitioning
+
+
+def hash_partition(graph: Graph, num_parts: int) -> Partitioning:
+    """Assign vertex ``v`` to worker ``v % num_parts``."""
+    if num_parts < 1:
+        raise ValueError("num_parts must be positive")
+    if num_parts > graph.num_vertices:
+        raise ValueError("more parts than vertices")
+    assignment = np.arange(graph.num_vertices, dtype=np.int64) % num_parts
+    return Partitioning(assignment, num_parts=num_parts, method="hash")

@@ -1,0 +1,68 @@
+"""Numerical gradient checking for the autograd engine.
+
+Used heavily by the test suite to validate every Function's backward
+against central finite differences, the same way PyTorch's
+``torch.autograd.gradcheck`` does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def numerical_grad(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    wrt: int,
+    eps: float = 1e-4,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input."""
+    target = inputs[wrt]
+    grad = np.zeros_like(target.data, dtype=np.float64)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*inputs).data.sum())
+        flat[i] = original - eps
+        minus = float(fn(*inputs).data.sum())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-4,
+    atol: float = 1e-2,
+    rtol: float = 1e-2,
+) -> bool:
+    """Compare analytic and numerical gradients for every trainable input.
+
+    Raises ``AssertionError`` with a diagnostic on mismatch; returns True
+    on success so it can be used directly in ``assert gradcheck(...)``.
+    """
+    for t in inputs:
+        t.zero_grad()
+    out = fn(*inputs)
+    out.backward(np.ones_like(out.data))
+    for i, t in enumerate(inputs):
+        if not t.requires_grad:
+            continue
+        analytic = t.grad
+        if analytic is None:
+            raise AssertionError(f"input {i} received no gradient")
+        numeric = numerical_grad(fn, inputs, wrt=i, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradient mismatch on input {i}: max abs err {worst:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )
+    return True

@@ -1,0 +1,58 @@
+"""Weight initialisers (Glorot/Xavier and Kaiming/He schemes)."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("cannot compute fans of a scalar shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[0] * receptive
+    fan_out = shape[1] * receptive
+    return fan_in, fan_out
+
+
+def xavier_uniform(
+    shape: Tuple[int, ...], gain: float = 1.0, rng: np.random.Generator = None
+) -> np.ndarray:
+    """Glorot & Bengio (2010) uniform initialisation."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_normal(
+    shape: Tuple[int, ...], gain: float = 1.0, rng: np.random.Generator = None
+) -> np.ndarray:
+    """Glorot & Bengio (2010) normal initialisation."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fan_in_out(shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def kaiming_uniform(
+    shape: Tuple[int, ...], a: float = math.sqrt(5.0), rng: np.random.Generator = None
+) -> np.ndarray:
+    """He et al. (2015) uniform initialisation (PyTorch Linear default)."""
+    rng = rng or np.random.default_rng()
+    fan_in, _ = _fan_in_out(shape)
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

@@ -1,0 +1,228 @@
+"""Minimal neural-network module system on top of the autograd engine.
+
+``Module`` mirrors PyTorch's: parameters are discovered recursively from
+attributes, ``zero_grad``/``parameters``/``state_dict`` behave as
+expected, and the GNN layers in :mod:`repro.core.layers` subclass it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor import functional as F
+from repro.tensor import init
+from repro.tensor.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable leaf of a :class:`Module`."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class with recursive parameter discovery."""
+
+    def __init__(self):
+        self.training = True
+
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{full}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full}.{i}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._child_modules():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def _child_modules(self) -> Iterator["Module"]:
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield item
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, p in own.items():
+            if p.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{p.data.shape} vs {state[name].shape}"
+                )
+            p.data = state[name].astype(p.data.dtype).copy()
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x @ W + b``.
+
+    Weights are stored ``(in_features, out_features)`` so forward is a
+    plain matmul without a transpose, matching the paper's pseudocode.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear needs positive feature sizes")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng=rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def flops(self, rows: int) -> int:
+        """Multiply-add FLOPs to push ``rows`` rows through this layer."""
+        flops = 2 * rows * self.in_features * self.out_features
+        if self.bias is not None:
+            flops += rows * self.out_features
+        return flops
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, p=self.p, training=self.training, rng=self.rng)
+
+
+class Embedding(Module):
+    """Learnable lookup table: integer ids -> dense vectors.
+
+    Used for graphs without input features (the paper substitutes
+    random features; a learnable embedding is the trainable variant).
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if num_embeddings <= 0 or dim <= 0:
+            raise ValueError("Embedding needs positive sizes")
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        rng = rng or np.random.default_rng()
+        self.weight = Parameter(
+            (rng.standard_normal((num_embeddings, dim)) * 0.1).astype(np.float32)
+        )
+
+    def forward(self, ids) -> Tensor:
+        ids = np.asarray(ids, dtype=np.int64)
+        if len(ids) and (ids.min() < 0 or ids.max() >= self.num_embeddings):
+            raise IndexError("embedding id out of range")
+        return F.index_select(self.weight, ids)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension (Ba et al. 2016).
+
+    Deep GNNs (3+ layers) commonly insert this between propagation
+    layers to fight oversmoothing-induced scale drift.
+    """
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        if dim <= 0:
+            raise ValueError("LayerNorm needs a positive dim")
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(init.ones((dim,)))
+        self.beta = Parameter(init.zeros((dim,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.dim:
+            raise ValueError(
+                f"LayerNorm({self.dim}) got last dim {x.shape[-1]}"
+            )
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalised = centered / (variance + self.eps).sqrt()
+        return normalised * self.gamma + self.beta
+
+
+class Sequential(Module):
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.layers = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, i: int) -> Module:
+        return self.layers[i]

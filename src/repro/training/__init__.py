@@ -1,0 +1,17 @@
+"""Training loop, graph preparation, and convergence running."""
+
+from repro.training.prep import prepare_graph
+from repro.training.trainer import (
+    ConvergencePoint,
+    DistributedTrainer,
+    EpochReport,
+    TrainingHistory,
+)
+
+__all__ = [
+    "prepare_graph",
+    "DistributedTrainer",
+    "TrainingHistory",
+    "ConvergencePoint",
+    "EpochReport",
+]

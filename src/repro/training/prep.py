@@ -1,0 +1,24 @@
+"""Graph preparation per architecture.
+
+Engines expect the edge weights / self loops the architecture needs, so
+that DepCache, DepComm, and Hybrid compute identical results:
+
+- GCN: self loops + symmetric normalisation (Kipf & Welling);
+- GIN: self loops with unit weights (the self term is explicit in the
+  layer, but the loop keeps each vertex in its own input space);
+- GAT: self loops with unit weights (attention ignores edge weights).
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+
+
+def prepare_graph(graph: Graph, arch: str) -> Graph:
+    """Return a copy prepared for ``arch`` (gcn | gin | gat | sage)."""
+    arch = arch.lower()
+    if arch == "gcn":
+        return graph.gcn_normalized()
+    if arch in ("gin", "gat", "sage"):
+        return graph.with_self_loops()
+    raise ValueError(f"unknown architecture {arch!r}")

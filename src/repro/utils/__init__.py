@@ -1,0 +1,5 @@
+"""Small shared utilities."""
+
+from repro.utils.formatting import format_seconds, format_bytes, render_table
+
+__all__ = ["format_seconds", "format_bytes", "render_table"]

@@ -1,0 +1,144 @@
+"""Timeline clocks, barriers, and utilization traces."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.timeline import CPU, GPU, NET_RECV, NET_SEND, Timeline
+
+
+class TestClocks:
+    def test_advance_moves_clock(self):
+        tl = Timeline(2)
+        tl.advance(0, GPU, 1.5)
+        assert tl.now(0) == pytest.approx(1.5)
+        assert tl.now(1) == 0.0
+
+    def test_zero_duration_noop(self):
+        tl = Timeline(1)
+        tl.advance(0, GPU, 0.0)
+        assert tl.now(0) == 0.0
+        assert not tl.intervals
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline(1).advance(0, GPU, -1.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline(1).advance(0, "quantum", 1.0)
+
+    def test_barrier_synchronises(self):
+        tl = Timeline(3)
+        tl.advance(0, GPU, 1.0)
+        tl.advance(2, CPU, 3.0)
+        t = tl.barrier()
+        assert t == pytest.approx(3.0)
+        assert (tl.clocks == 3.0).all()
+
+    def test_partial_barrier(self):
+        tl = Timeline(3)
+        tl.advance(0, GPU, 1.0)
+        tl.advance(1, GPU, 2.0)
+        tl.barrier(workers=[0, 1])
+        assert tl.now(0) == tl.now(1) == pytest.approx(2.0)
+        assert tl.now(2) == 0.0
+
+    def test_advance_at_least_until_never_rewinds(self):
+        tl = Timeline(1)
+        tl.advance(0, GPU, 5.0)
+        tl.advance_at_least_until(0, 2.0)
+        assert tl.now(0) == pytest.approx(5.0)
+
+    def test_makespan(self):
+        tl = Timeline(2)
+        tl.advance(1, NET_SEND, 4.0)
+        assert tl.makespan == pytest.approx(4.0)
+
+    def test_needs_a_worker(self):
+        with pytest.raises(ValueError):
+            Timeline(0)
+
+
+class TestRecording:
+    def test_intervals_recorded(self):
+        tl = Timeline(1)
+        tl.advance(0, GPU, 1.0, num_bytes=7)
+        iv = tl.intervals[0]
+        assert iv.kind == GPU and iv.duration == pytest.approx(1.0)
+        assert iv.num_bytes == 7
+
+    def test_record_interval_without_clock_motion(self):
+        tl = Timeline(1)
+        tl.record_interval(0, NET_RECV, start=0.0, duration=2.0, num_bytes=10)
+        assert tl.now(0) == 0.0
+        assert tl.totals[NET_RECV][0] == pytest.approx(2.0)
+
+    def test_recording_disabled(self):
+        tl = Timeline(1, record=False)
+        tl.advance(0, GPU, 1.0)
+        assert not tl.intervals
+        assert tl.totals[GPU][0] == pytest.approx(1.0)  # totals still kept
+
+
+class TestUtilization:
+    def test_busy_fraction_full_window(self):
+        tl = Timeline(1)
+        tl.advance(0, GPU, 2.0)
+        busy = tl.busy_fraction(GPU, window=1.0, horizon=2.0)
+        assert np.allclose(busy, [1.0, 1.0])
+
+    def test_busy_fraction_averaged_over_workers(self):
+        tl = Timeline(2)
+        tl.advance(0, GPU, 1.0)  # worker 1 idle
+        busy = tl.busy_fraction(GPU, window=1.0, horizon=1.0)
+        assert np.allclose(busy, [0.5])
+
+    def test_interval_split_across_windows(self):
+        tl = Timeline(1)
+        tl.advance(0, GPU, 1.5)
+        busy = tl.busy_fraction(GPU, window=1.0, horizon=2.0)
+        assert np.allclose(busy, [1.0, 0.5])
+
+    def test_bytes_per_window(self):
+        tl = Timeline(1)
+        tl.advance(0, NET_RECV, 0.5, num_bytes=100)
+        tl.advance(0, NET_RECV, 1.0, num_bytes=300)
+        received = tl.bytes_per_window(window=1.0, horizon=2.0)
+        assert received.sum() == 400
+
+    def test_empty_horizon(self):
+        tl = Timeline(1)
+        assert len(tl.busy_fraction(GPU, window=1.0)) == 0
+
+    def test_utilization_summary_fractions(self):
+        tl = Timeline(2)
+        tl.advance(0, GPU, 1.0)
+        tl.advance(1, GPU, 1.0)
+        tl.barrier()
+        summary = tl.utilization_summary()
+        assert summary[GPU] == pytest.approx(1.0)
+        assert summary[CPU] == 0.0
+
+
+class TestClusterSpec:
+    def test_factories(self):
+        assert ClusterSpec.ecs(16).num_workers == 16
+        assert ClusterSpec.ibv().device.name == "V100"
+        assert ClusterSpec.single_gpu().num_workers == 1
+        assert not ClusterSpec.cpu().device.is_gpu
+
+    def test_with_workers(self):
+        a = ClusterSpec.ecs(16)
+        b = a.with_workers(4)
+        assert b.num_workers == 4
+        assert b.device is a.device
+
+    def test_needs_a_worker(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(0)
+
+    def test_make_memory_trackers(self):
+        trackers = ClusterSpec.ecs(3).make_memory_trackers()
+        assert len(trackers) == 3
+        assert trackers[0].budget_bytes == ClusterSpec.ecs(3).device.memory_bytes

@@ -1,0 +1,47 @@
+"""Ring schedule properties (Figure 8)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm.ring import ring_partner, ring_rounds
+
+
+class TestRingPartner:
+    def test_matches_paper_formula(self):
+        # Worker i sends its j-th chunk to (i + j + 1) % m.
+        assert ring_partner(0, 0, 4) == 1
+        assert ring_partner(3, 0, 4) == 0
+        assert ring_partner(1, 2, 4) == 0
+
+    def test_never_self(self):
+        for m in range(2, 8):
+            for i in range(m):
+                for j in range(m - 1):
+                    assert ring_partner(i, j, m) != i
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            ring_partner(0, 0, 0)
+
+
+class TestRingRounds:
+    def test_round_count(self):
+        assert len(ring_rounds(5)) == 4
+        assert ring_rounds(1) == []
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 16))
+    def test_each_round_receivers_distinct(self, m):
+        for round_pairs in ring_rounds(m):
+            receivers = [r for _, r in round_pairs]
+            assert len(set(receivers)) == m  # perfect matching
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 16))
+    def test_every_ordered_pair_exactly_once(self, m):
+        seen = set()
+        for round_pairs in ring_rounds(m):
+            for pair in round_pairs:
+                assert pair not in seen
+                seen.add(pair)
+        assert len(seen) == m * (m - 1)

@@ -1,0 +1,146 @@
+"""Exchange-phase timing model: R / L / P semantics."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.network import ECS_NETWORK
+from repro.cluster.timeline import GPU, NET_RECV, Timeline
+from repro.comm.scheduler import CommOptions, run_exchange
+
+
+def volumes_2x2(bytes_each=1e6):
+    v = np.zeros((2, 2))
+    v[0, 1] = v[1, 0] = bytes_each
+    return v
+
+
+class TestCommOptions:
+    def test_labels(self):
+        assert CommOptions.none().label() == "raw"
+        assert CommOptions.all().label() == "R+L+P"
+        assert CommOptions(ring=True, overlap=True).label() == "R+P"
+
+    def test_factories(self):
+        assert CommOptions.all().ring and CommOptions.all().overlap
+        assert not CommOptions.none().lock_free
+
+
+class TestRunExchange:
+    def test_empty_exchange_costs_nothing(self):
+        tl = Timeline(2)
+        stats = run_exchange(tl, ECS_NETWORK, np.zeros((2, 2)))
+        assert tl.makespan == 0.0
+        assert stats.total_bytes == 0
+
+    def test_shape_validation(self):
+        tl = Timeline(2)
+        with pytest.raises(ValueError, match="2x2"):
+            run_exchange(tl, ECS_NETWORK, np.zeros((3, 3)))
+
+    def test_total_bytes_excludes_diagonal(self):
+        tl = Timeline(2)
+        v = volumes_2x2(100)
+        v[0, 0] = 999
+        stats = run_exchange(tl, ECS_NETWORK, v)
+        assert stats.total_bytes == 200
+
+    def test_barrier_synchronises_clocks(self):
+        tl = Timeline(2)
+        v = np.zeros((2, 2))
+        v[0, 1] = 1e6  # only one direction
+        run_exchange(tl, ECS_NETWORK, v, barrier=True)
+        assert tl.clocks[0] == tl.clocks[1]
+
+    def test_ring_removes_congestion(self):
+        base = volumes_2x2()
+        tl_raw = Timeline(2)
+        raw = run_exchange(tl_raw, ECS_NETWORK, base, options=CommOptions.none())
+        tl_ring = Timeline(2)
+        ring = run_exchange(
+            tl_ring, ECS_NETWORK, base, options=CommOptions(ring=True)
+        )
+        assert tl_ring.makespan < tl_raw.makespan
+        assert (ring.recv_s <= raw.recv_s).all()
+
+    def test_lock_free_cheaper_packing(self):
+        base = volumes_2x2()
+        stats_mutex = run_exchange(
+            Timeline(2), ECS_NETWORK, base,
+            options=CommOptions(ring=True), bytes_per_message=64,
+        )
+        stats_lf = run_exchange(
+            Timeline(2), ECS_NETWORK, base,
+            options=CommOptions(ring=True, lock_free=True), bytes_per_message=64,
+        )
+        assert (stats_lf.pack_s < stats_mutex.pack_s).all()
+
+    def test_overlap_bounded_by_serial(self):
+        # Four workers, all-to-all: several chunks per receiver, so the
+        # pipeline has something to fill.
+        base = np.full((4, 4), 1e6)
+        np.fill_diagonal(base, 0.0)
+        compute = np.full((4, 4), 1e-3)
+        tl_serial = Timeline(4)
+        run_exchange(
+            tl_serial, ECS_NETWORK, base, chunk_compute=compute,
+            options=CommOptions(ring=True, lock_free=True),
+        )
+        tl_overlap = Timeline(4)
+        run_exchange(
+            tl_overlap, ECS_NETWORK, base, chunk_compute=compute,
+            options=CommOptions.all(),
+        )
+        assert tl_overlap.makespan < tl_serial.makespan
+        # Overlap can never beat max(comm, compute) alone.
+        assert tl_overlap.makespan >= 3e-3
+
+    def test_overlap_single_chunk_no_gain(self):
+        # With one chunk the pipeline fill equals the whole exchange, so
+        # overlap degenerates to serial -- and must not be *worse*.
+        base = volumes_2x2()
+        compute = np.full((2, 2), 1e-3)
+        tl_serial = Timeline(2)
+        run_exchange(
+            tl_serial, ECS_NETWORK, base, chunk_compute=compute,
+            options=CommOptions(ring=True, lock_free=True),
+        )
+        tl_overlap = Timeline(2)
+        run_exchange(
+            tl_overlap, ECS_NETWORK, base, chunk_compute=compute,
+            options=CommOptions.all(),
+        )
+        assert tl_overlap.makespan == pytest.approx(tl_serial.makespan)
+
+    def test_overlap_records_both_activities(self):
+        tl = Timeline(2)
+        run_exchange(
+            tl, ECS_NETWORK, volumes_2x2(), chunk_compute=np.full((2, 2), 1e-3),
+            options=CommOptions.all(),
+        )
+        kinds = {iv.kind for iv in tl.intervals}
+        assert GPU in kinds and NET_RECV in kinds
+
+    def test_local_compute_charged(self):
+        tl = Timeline(2)
+        run_exchange(
+            tl, ECS_NETWORK, np.zeros((2, 2)), local_compute=np.array([1.0, 2.0]),
+            barrier=False,
+        )
+        assert tl.now(0) == pytest.approx(1.0)
+        assert tl.now(1) == pytest.approx(2.0)
+
+    def test_full_duplex_send_recv_overlap(self):
+        # A worker that both sends and receives pays max, not sum.
+        tl = Timeline(2)
+        stats = run_exchange(
+            tl, ECS_NETWORK, volumes_2x2(1e7), options=CommOptions(ring=True)
+        )
+        expected = ECS_NETWORK.wire_time(1e7)
+        assert tl.makespan == pytest.approx(
+            expected + stats.pack_s.max(), rel=0.01
+        )
+
+    def test_makespan_property(self):
+        tl = Timeline(2)
+        stats = run_exchange(tl, ECS_NETWORK, volumes_2x2())
+        assert stats.makespan == pytest.approx(stats.phase_s.max())

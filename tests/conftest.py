@@ -1,0 +1,67 @@
+"""Shared fixtures: small graphs, tiny models, quick clusters."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.model import GNNModel
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_graph():
+    """The paper's Figure 1 example-sized graph: 6 vertices, few edges."""
+    src = np.array([0, 3, 5, 1, 4, 2, 0, 1])
+    dst = np.array([1, 1, 1, 2, 2, 3, 2, 5])
+    g = Graph(6, src, dst, name="tiny")
+    rng = np.random.default_rng(0)
+    g.features = rng.standard_normal((6, 8)).astype(np.float32)
+    g.labels = np.array([0, 1, 0, 1, 0, 1], dtype=np.int64)
+    g.num_classes = 2
+    g.set_split(train_fraction=0.5, val_fraction=0.2, rng=rng)
+    return g
+
+
+@pytest.fixture
+def small_graph():
+    """A learnable community graph (64 vertices, 4 classes)."""
+    g = generators.community(64, 4, avg_degree=8.0, seed=3)
+    generators.attach_features(g, 16, 4, seed=4, class_signal=2.0)
+    return g
+
+
+@pytest.fixture
+def medium_graph():
+    """A locality graph big enough for 4-8 workers."""
+    g = generators.locality_graph(
+        200, 1400, locality_width=0.02, global_fraction=0.3, seed=5
+    )
+    generators.attach_features(g, 24, 5, seed=6)
+    return g
+
+
+@pytest.fixture
+def cluster4():
+    return ClusterSpec.ecs(4)
+
+
+@pytest.fixture
+def cluster2():
+    return ClusterSpec.ecs(2)
+
+
+def make_model(arch: str, graph: Graph, hidden: int = 12, seed: int = 7) -> GNNModel:
+    return GNNModel.build(
+        arch, graph.feature_dim, hidden, graph.num_classes, seed=seed
+    )
+
+
+@pytest.fixture
+def gcn_model(small_graph):
+    return make_model("gcn", small_graph)

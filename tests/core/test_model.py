@@ -1,0 +1,65 @@
+"""GNNModel factories and dims."""
+
+import numpy as np
+import pytest
+
+from repro.core.layers import GATConv, GCNConv, GINConv
+from repro.core.model import GNNModel
+
+
+class TestBuild:
+    @pytest.mark.parametrize("arch,cls", [
+        ("gcn", GCNConv), ("gin", GINConv), ("gat", GATConv),
+    ])
+    def test_factory_types(self, arch, cls):
+        model = GNNModel.build(arch, 8, 16, 3)
+        assert all(isinstance(layer, cls) for layer in model.layers)
+
+    def test_dims_chain(self):
+        model = GNNModel.gcn(8, 16, 3, num_layers=3)
+        assert model.dims() == [8, 16, 16, 3]
+        assert model.in_dim == 8 and model.out_dim == 3
+
+    def test_final_layer_emits_logits(self):
+        model = GNNModel.gcn(8, 16, 3)
+        assert model.layers[-1].activation == "none"
+        assert model.layers[0].activation == "relu"
+
+    def test_one_based_layer_access(self):
+        model = GNNModel.gcn(8, 16, 3)
+        assert model.layer(1) is model.layers[0]
+        assert model.layer(2) is model.layers[1]
+
+    def test_seed_reproducible(self):
+        a = GNNModel.gcn(8, 16, 3, seed=5)
+        b = GNNModel.gcn(8, 16, 3, seed=5)
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            assert np.array_equal(pa.data, pb.data)
+
+    def test_unknown_arch(self):
+        with pytest.raises(ValueError, match="unknown architecture"):
+            GNNModel.build("transformer", 8, 16, 3)
+
+    def test_bad_layer_count(self):
+        with pytest.raises(ValueError):
+            GNNModel.build("gcn", 8, 16, 3, num_layers=0)
+
+    def test_mismatched_manual_stack(self):
+        with pytest.raises(ValueError, match="chain"):
+            GNNModel([GCNConv(4, 8), GCNConv(9, 2)])
+
+    def test_empty_stack(self):
+        with pytest.raises(ValueError):
+            GNNModel([])
+
+    def test_parameter_bytes(self):
+        model = GNNModel.gcn(8, 16, 3)
+        expected = sum(p.data.nbytes for p in model.parameters())
+        assert model.parameter_bytes() == expected
+
+    def test_state_dict_roundtrip(self):
+        a = GNNModel.gat(8, 16, 3, seed=1)
+        b = GNNModel.gat(8, 16, 3, seed=2)
+        b.load_state_dict(a.state_dict())
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            assert np.array_equal(pa.data, pb.data)

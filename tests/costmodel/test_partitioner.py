@@ -1,0 +1,132 @@
+"""Algorithm 4: greedy dependency partitioning."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.model import GNNModel
+from repro.costmodel.partitioner import partition_dependencies
+from repro.costmodel.probe import ProbeResult, probe_constants
+from repro.graph import generators
+from repro.partition.chunk import chunk_partition
+
+
+@pytest.fixture
+def setting():
+    g = generators.locality_graph(80, 500, locality_width=0.05,
+                                  global_fraction=0.4, seed=1)
+    model = GNNModel.gcn(8, 4, 2)
+    partitioning = chunk_partition(g, 4)
+    constants = probe_constants(ClusterSpec.ecs(4), model)
+    return g, model, partitioning, constants
+
+
+def fake_constants(base: ProbeResult, comm_scale: float) -> ProbeResult:
+    return dataclasses.replace(
+        base,
+        t_c=base.t_c * comm_scale,
+        t_c_layer=[t * comm_scale for t in base.t_c_layer],
+    )
+
+
+class TestDecisions:
+    def test_expensive_comm_caches_everything(self, setting):
+        g, model, partitioning, constants = setting
+        result = partition_dependencies(
+            g, partitioning, 0, model.dims(),
+            fake_constants(constants, 1e6),
+        )
+        assert all(len(c) == 0 for c in result.communicated)
+        assert result.cache_ratio() == 1.0
+
+    def test_free_comm_still_caches_features(self, setting):
+        # Layer-1 deps cost zero per epoch to cache, so even with cheap
+        # communication they are cached; layer-2 deps all communicate.
+        g, model, partitioning, constants = setting
+        result = partition_dependencies(
+            g, partitioning, 0, model.dims(),
+            fake_constants(constants, 1e-9),
+        )
+        assert len(result.communicated[0]) == 0  # features cached
+        assert len(result.cached[1]) == 0  # layer 2 all communicated
+
+    def test_partitions_are_disjoint_and_complete(self, setting):
+        g, model, partitioning, constants = setting
+        from repro.graph.khop import dependency_layers
+        result = partition_dependencies(
+            g, partitioning, 1, model.dims(), constants
+        )
+        deps = dependency_layers(g, partitioning.part(1), 2)
+        for l in range(2):
+            merged = np.union1d(result.cached[l], result.communicated[l])
+            assert np.array_equal(merged, deps[l])
+            assert len(np.intersect1d(result.cached[l], result.communicated[l])) == 0
+
+    def test_memory_limit_stops_caching(self, setting):
+        g, model, partitioning, constants = setting
+        expensive = fake_constants(constants, 1e6)
+        unlimited = partition_dependencies(
+            g, partitioning, 0, model.dims(), expensive
+        )
+        limited = partition_dependencies(
+            g, partitioning, 0, model.dims(), expensive,
+            memory_limit_bytes=unlimited.memory_bytes // 4,
+        )
+        assert limited.memory_bytes <= unlimited.memory_bytes // 4
+        assert limited.cache_ratio() < 1.0
+
+    def test_force_fraction_quota_is_global(self, setting):
+        """The quota covers the pooled dependency list, filled from
+        layer 1 up (cheapest-first ordering, Figure 11 semantics)."""
+        g, model, partitioning, constants = setting
+        from repro.graph.khop import dependency_layers
+        deps = dependency_layers(g, partitioning.part(0), 2)
+        total = sum(len(d) for d in deps)
+        result = partition_dependencies(
+            g, partitioning, 0, model.dims(), constants,
+            force_cache_fraction=0.5,
+        )
+        cached_total = sum(len(c) for c in result.cached)
+        assert cached_total == int(round(0.5 * total))
+        # Layer 1 (free to cache) fills before layer 2.
+        assert len(result.cached[0]) >= len(result.cached[1])
+
+    def test_force_zero_and_one(self, setting):
+        g, model, partitioning, constants = setting
+        none = partition_dependencies(
+            g, partitioning, 0, model.dims(), constants, force_cache_fraction=0.0
+        )
+        assert none.cache_ratio() == 0.0
+        everything = partition_dependencies(
+            g, partitioning, 0, model.dims(), constants, force_cache_fraction=1.0
+        )
+        assert everything.cache_ratio() == 1.0
+
+    def test_greedy_prefers_cheap_subtrees(self, setting):
+        """Cached deps should have smaller marginal subtrees than comm'd."""
+        g, model, partitioning, constants = setting
+        result = partition_dependencies(
+            g, partitioning, 0, model.dims(), constants
+        )
+        cached2 = result.cached[1]
+        comm2 = result.communicated[1]
+        if len(cached2) and len(comm2):
+            deg = g.in_degrees()
+            assert deg[cached2].mean() <= deg[comm2].mean() + 1
+
+    def test_preprocessing_time_positive(self, setting):
+        g, model, partitioning, constants = setting
+        result = partition_dependencies(
+            g, partitioning, 0, model.dims(), constants
+        )
+        assert result.modeled_seconds > 0
+        assert result.measured_evaluations > 0
+
+    def test_deterministic(self, setting):
+        g, model, partitioning, constants = setting
+        a = partition_dependencies(g, partitioning, 2, model.dims(), constants)
+        b = partition_dependencies(g, partitioning, 2, model.dims(), constants)
+        for l in range(2):
+            assert np.array_equal(a.cached[l], b.cached[l])

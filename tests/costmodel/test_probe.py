@@ -1,0 +1,54 @@
+"""Probing T_v, T_e, T_c (Algorithm 4 line 1)."""
+
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.model import GNNModel
+from repro.costmodel.probe import probe_constants
+
+
+@pytest.fixture
+def model():
+    return GNNModel.gcn(32, 16, 4)
+
+
+class TestProbe:
+    def test_constants_positive(self, model):
+        res = probe_constants(ClusterSpec.ecs(4), model)
+        assert res.t_v > 0 and res.t_e > 0 and res.t_c > 0
+
+    def test_per_layer_arrays(self, model):
+        res = probe_constants(ClusterSpec.ecs(4), model)
+        assert len(res.t_v_layer) == model.num_layers
+        assert len(res.t_c_layer) == model.num_layers
+        assert res.vertex_cost(1) == res.t_v_layer[0]
+        assert res.edge_cost(2) == res.t_e_layer[1]
+        assert res.comm_cost(1) == res.t_c_layer[0]
+
+    def test_ibv_comm_cheaper_than_ecs(self, model):
+        ecs = probe_constants(ClusterSpec.ecs(4), model)
+        ibv = probe_constants(ClusterSpec.ibv(4), model)
+        assert ibv.t_c < ecs.t_c
+
+    def test_v100_compute_cheaper_than_t4(self, model):
+        ecs = probe_constants(ClusterSpec.ecs(4), model)
+        ibv = probe_constants(ClusterSpec.ibv(4), model)
+        assert ibv.t_e < ecs.t_e
+
+    def test_wider_layer_costs_more_per_vertex(self):
+        narrow = GNNModel.gcn(32, 8, 4)
+        wide = GNNModel.gcn(32, 128, 4)
+        cl = ClusterSpec.ecs(4)
+        assert (
+            probe_constants(cl, wide).vertex_cost(1)
+            > probe_constants(cl, narrow).vertex_cost(1)
+        )
+
+    def test_comm_cost_scales_with_input_dim(self, model):
+        res = probe_constants(ClusterSpec.ecs(4), model)
+        # Layer 1 inputs are 32-dim, layer 2 inputs 16-dim.
+        assert res.comm_cost(1) > res.comm_cost(2)
+
+    def test_deterministic(self, model):
+        cl = ClusterSpec.ecs(4)
+        assert probe_constants(cl, model) == probe_constants(cl, model)

@@ -1,0 +1,148 @@
+"""Memory model: the paper's OOM outcomes at laptop scale."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.memory import OutOfMemoryError
+from repro.cluster.spec import ClusterSpec
+from repro.core.model import GNNModel
+from repro.engines import (
+    DepCacheEngine,
+    DepCommEngine,
+    HybridEngine,
+    RocLikeEngine,
+    SharedMemoryEngine,
+)
+from repro.graph.datasets import load_dataset, spec_of
+from repro.training.prep import prepare_graph
+
+
+def build(engine_cls, name, arch="gcn", m=16, **kwargs):
+    graph = prepare_graph(load_dataset(name), arch)
+    spec = spec_of(name)
+    model = GNNModel.build(
+        arch, graph.feature_dim, spec.hidden_dim, graph.num_classes, seed=1
+    )
+    if engine_cls is SharedMemoryEngine:
+        kwargs.setdefault("paper_num_vertices", spec.paper_num_vertices)
+        return engine_cls(graph, model, **kwargs)
+    return engine_cls(graph, model, ClusterSpec.ecs(m), **kwargs)
+
+
+class TestDistributedOom:
+    def test_depcache_gcn_runs_everywhere(self):
+        for name in ["google", "pokec", "livejournal", "reddit", "orkut",
+                     "wiki", "twitter"]:
+            build(DepCacheEngine, name).plan()  # must not raise
+
+    def test_depcache_gat_oom_on_dense_graphs(self):
+        for name in ["reddit", "orkut"]:
+            with pytest.raises(OutOfMemoryError):
+                build(DepCacheEngine, name, arch="gat").plan()
+
+    def test_depcache_gat_runs_on_local_graphs(self):
+        for name in ["google", "livejournal"]:
+            build(DepCacheEngine, name, arch="gat").plan()
+
+    def test_depcomm_never_ooms(self):
+        for name in ["reddit", "orkut", "twitter"]:
+            for arch in ["gcn", "gat"]:
+                build(DepCommEngine, name, arch=arch).plan()
+
+    def test_hybrid_never_ooms_with_budget(self):
+        for name in ["reddit", "orkut", "twitter"]:
+            build(HybridEngine, name).plan()
+
+    def test_hybrid_all_cache_gat_orkut_ooms(self):
+        """Figure 11: caching all dependencies OOMs GAT on Orkut."""
+        with pytest.raises(OutOfMemoryError):
+            build(
+                HybridEngine, "orkut", arch="gat", m=8,
+                force_cache_fraction=1.0,
+                memory_limit_bytes=1 << 40,
+            ).plan()
+
+    def test_roc_ooms_on_reddit(self):
+        with pytest.raises(OutOfMemoryError):
+            build(RocLikeEngine, "reddit", m=4).plan()
+
+    def test_roc_runs_on_google(self):
+        build(RocLikeEngine, "google", m=4).plan()
+
+    def test_oom_error_carries_label(self):
+        with pytest.raises(OutOfMemoryError) as err:
+            build(DepCacheEngine, "reddit", arch="gat").plan()
+        assert "edge_tape" in err.value.label
+
+
+class TestSingleMachineOom:
+    def test_dgl_pyg_oom_on_google(self):
+        for variant in ["dgl", "pyg"]:
+            with pytest.raises(OutOfMemoryError):
+                build(SharedMemoryEngine, "google", variant=variant).plan()
+
+    def test_nts_runs_google_single_gpu(self):
+        build(SharedMemoryEngine, "google", variant="nts").plan()
+
+    @pytest.mark.parametrize("name", ["cora", "citeseer", "pubmed"])
+    @pytest.mark.parametrize("variant", ["dgl", "pyg", "nts"])
+    def test_small_graphs_fit_everywhere(self, name, variant):
+        build(SharedMemoryEngine, name, variant=variant).plan()
+
+    def test_pyg_dense_adjacency_accounted(self):
+        engine = build(SharedMemoryEngine, "cora", variant="pyg")
+        plan = engine.plan()
+        assert "dense_adjacency" in plan.device_memory[0].breakdown()
+
+    def test_dgl_has_no_dense_adjacency(self):
+        engine = build(SharedMemoryEngine, "cora", variant="dgl")
+        plan = engine.plan()
+        assert "dense_adjacency" not in plan.device_memory[0].breakdown()
+
+    def test_pyg_cpu_oom_on_large_graphs(self):
+        for name in ["google", "pokec", "livejournal"]:
+            with pytest.raises(OutOfMemoryError):
+                build(
+                    SharedMemoryEngine, name, variant="pyg",
+                    cluster=ClusterSpec.cpu(),
+                ).plan()
+
+    def test_dgl_cpu_runs_large_graphs(self):
+        for name in ["google", "pokec", "livejournal"]:
+            build(
+                SharedMemoryEngine, name, variant="dgl",
+                cluster=ClusterSpec.cpu(),
+            ).plan()
+
+    def test_variant_validation(self, small_graph):
+        graph = prepare_graph(small_graph, "gcn")
+        model = GNNModel.gcn(graph.feature_dim, 8, graph.num_classes)
+        with pytest.raises(ValueError, match="variant"):
+            SharedMemoryEngine(graph, model, variant="jax")
+
+    def test_multi_worker_rejected(self, small_graph):
+        graph = prepare_graph(small_graph, "gcn")
+        model = GNNModel.gcn(graph.feature_dim, 8, graph.num_classes)
+        with pytest.raises(ValueError, match="single worker"):
+            SharedMemoryEngine(graph, model, cluster=ClusterSpec.ecs(2))
+
+
+class TestMemoryAccounting:
+    def test_chunked_device_usage_capped(self):
+        engine = build(DepCommEngine, "reddit")
+        plan = engine.plan()
+        budget = ClusterSpec.ecs(16).device.memory_bytes
+        for tracker in plan.device_memory:
+            assert tracker.used_bytes <= budget
+
+    def test_depcache_host_usage_grows_with_closure(self):
+        cache = build(DepCacheEngine, "orkut").plan()
+        comm = build(DepCommEngine, "orkut").plan()
+        assert (
+            cache.host_memory[0].used_bytes > comm.host_memory[0].used_bytes
+        )
+
+    def test_breakdown_labels_per_layer(self):
+        plan = build(DepCommEngine, "google").plan()
+        labels = set(plan.host_memory[0].breakdown())
+        assert {"features", "activations_l1", "edge_tape_l1"} <= labels

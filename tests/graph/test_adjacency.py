@@ -1,0 +1,77 @@
+"""Adjacency index structure: grouping, selection, properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.adjacency import Adjacency
+
+
+class TestBasics:
+    def test_degree_and_neighbors(self):
+        key = np.array([0, 0, 2, 1])
+        other = np.array([5, 6, 7, 8])
+        adj = Adjacency(key, other, 3)
+        assert adj.degree(0) == 2
+        assert adj.degree(1) == 1
+        assert sorted(adj.neighbors(0).tolist()) == [5, 6]
+        assert adj.num_edges == 4
+
+    def test_edges_of_returns_original_ids(self):
+        key = np.array([1, 0, 1])
+        other = np.array([9, 9, 9])
+        adj = Adjacency(key, other, 2)
+        assert sorted(adj.edges_of(1).tolist()) == [0, 2]
+
+    def test_empty_vertex(self):
+        adj = Adjacency(np.array([0]), np.array([1]), 4)
+        assert adj.degree(3) == 0
+        assert len(adj.neighbors(3)) == 0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Adjacency(np.array([0]), np.array([1, 2]), 3)
+
+    def test_select_concatenates(self):
+        key = np.array([0, 1, 0, 2])
+        other = np.array([4, 5, 6, 7])
+        adj = Adjacency(key, other, 3)
+        keys, others, eids = adj.select(np.array([0, 2]))
+        assert sorted(others.tolist()) == [4, 6, 7]
+        assert len(eids) == 3
+
+    def test_select_empty(self):
+        adj = Adjacency(np.array([0]), np.array([1]), 2)
+        keys, others, eids = adj.select(np.array([], dtype=np.int64))
+        assert len(keys) == len(others) == len(eids) == 0
+
+    def test_neighbors_of_set_unique(self):
+        key = np.array([0, 1])
+        other = np.array([5, 5])
+        adj = Adjacency(key, other, 2)
+        assert adj.neighbors_of_set(np.array([0, 1])).tolist() == [5]
+
+    def test_degrees_vector(self):
+        adj = Adjacency(np.array([0, 0, 1]), np.array([1, 2, 0]), 3)
+        assert adj.degrees().tolist() == [2, 1, 0]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_every_edge_appears_exactly_once(data):
+    n = data.draw(st.integers(2, 12))
+    m = data.draw(st.integers(0, 40))
+    rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+    key = rng.integers(0, n, size=m)
+    other = rng.integers(0, n, size=m)
+    adj = Adjacency(key, other, n)
+    # indptr consistency.
+    assert adj.indptr[0] == 0 and adj.indptr[-1] == m
+    assert (np.diff(adj.indptr) >= 0).all()
+    # Every original edge id shows up exactly once.
+    assert sorted(adj.edge_ids.tolist()) == list(range(m))
+    # Grouped keys are sorted and edges preserved as pairs.
+    assert (np.diff(adj.key) >= 0).all()
+    original = sorted(zip(key.tolist(), other.tolist()))
+    grouped = sorted(zip(adj.key.tolist(), adj.other.tolist()))
+    assert original == grouped

@@ -1,0 +1,77 @@
+"""Graph persistence round trips."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph.io import load_edge_list, load_graph, save_edge_list, save_graph
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        g = generators.erdos_renyi(20, 60, seed=1)
+        path = save_edge_list(g, tmp_path / "edges.txt")
+        loaded = load_edge_list(path, num_vertices=20)
+        assert loaded.num_vertices == 20
+        assert sorted(zip(loaded.src, loaded.dst)) == sorted(zip(g.src, g.dst))
+
+    def test_weights_preserved(self, tmp_path):
+        g = generators.ring(4).gcn_normalized()
+        path = save_edge_list(g, tmp_path / "w.txt")
+        loaded = load_edge_list(path, num_vertices=4)
+        assert np.allclose(np.sort(loaded.edge_weight), np.sort(g.edge_weight),
+                           atol=1e-5)
+
+    def test_infers_vertex_count(self, tmp_path):
+        (tmp_path / "e.txt").write_text("0 5\n2 3\n")
+        g = load_edge_list(tmp_path / "e.txt")
+        assert g.num_vertices == 6
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        (tmp_path / "e.txt").write_text("# header\n\n0 1\n# mid\n1 2\n")
+        assert load_edge_list(tmp_path / "e.txt").num_edges == 2
+
+    def test_malformed_line_raises(self, tmp_path):
+        (tmp_path / "e.txt").write_text("0\n")
+        with pytest.raises(ValueError, match="src dst"):
+            load_edge_list(tmp_path / "e.txt")
+
+    def test_default_weight_is_one(self, tmp_path):
+        (tmp_path / "e.txt").write_text("0 1\n")
+        g = load_edge_list(tmp_path / "e.txt")
+        assert g.edge_weight[0] == 1.0
+
+
+class TestNpz:
+    def test_full_roundtrip(self, tmp_path, small_graph):
+        path = save_graph(small_graph, tmp_path / "g")
+        loaded = load_graph(path)
+        assert loaded.num_vertices == small_graph.num_vertices
+        assert np.array_equal(loaded.src, small_graph.src)
+        assert np.allclose(loaded.features, small_graph.features)
+        assert np.array_equal(loaded.labels, small_graph.labels)
+        assert loaded.num_classes == small_graph.num_classes
+        assert np.array_equal(loaded.train_mask, small_graph.train_mask)
+        assert loaded.name == small_graph.name
+
+    def test_structure_only(self, tmp_path):
+        g = generators.chain(5)
+        loaded = load_graph(save_graph(g, tmp_path / "bare"))
+        assert loaded.features is None
+        assert loaded.labels is None
+        assert loaded.num_edges == 4
+
+    def test_suffix_added(self, tmp_path, small_graph):
+        path = save_graph(small_graph, tmp_path / "noext")
+        assert path.suffix == ".npz"
+
+    def test_loaded_graph_trains(self, tmp_path, small_graph, cluster2):
+        from repro.core.model import GNNModel
+        from repro.engines import DepCommEngine
+        from repro.training.prep import prepare_graph
+
+        loaded = load_graph(save_graph(small_graph, tmp_path / "g"))
+        graph = prepare_graph(loaded, "gcn")
+        model = GNNModel.gcn(graph.feature_dim, 8, graph.num_classes, seed=1)
+        report = DepCommEngine(graph, model, cluster2).run_epoch()
+        assert report.loss > 0

@@ -1,0 +1,115 @@
+"""Graph transforms."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.transforms import (
+    add_degree_features,
+    largest_connected_component,
+    remove_self_loops,
+    reverse_edges,
+    row_normalize_features,
+    to_undirected,
+)
+
+
+class TestRowNormalize:
+    def test_rows_sum_to_one(self, small_graph):
+        out = row_normalize_features(small_graph)
+        sums = np.abs(out.features).sum(axis=1)
+        assert np.allclose(sums[sums > 0], 1.0, atol=1e-5)
+
+    def test_zero_rows_stay_zero(self):
+        g = generators.ring(4)
+        g.features = np.zeros((4, 3), dtype=np.float32)
+        out = row_normalize_features(g)
+        assert np.allclose(out.features, 0.0)
+
+    def test_original_untouched(self, small_graph):
+        before = small_graph.features.copy()
+        row_normalize_features(small_graph)
+        assert np.array_equal(small_graph.features, before)
+
+    def test_requires_features(self):
+        with pytest.raises(ValueError, match="no features"):
+            row_normalize_features(generators.ring(4))
+
+
+class TestDegreeFeatures:
+    def test_appends_two_columns(self, small_graph):
+        out = add_degree_features(small_graph)
+        assert out.features.shape[1] == small_graph.features.shape[1] + 2
+
+    def test_log_scale(self):
+        g = generators.star(100, inward=True)
+        g.features = np.zeros((101, 1), dtype=np.float32)
+        logged = add_degree_features(g, log_scale=True)
+        raw = add_degree_features(g, log_scale=False)
+        assert logged.features[0, 1] == pytest.approx(np.log1p(100.0))
+        assert raw.features[0, 1] == 100.0
+
+    def test_masks_carried(self, small_graph):
+        out = add_degree_features(small_graph)
+        assert out.train_mask is small_graph.train_mask
+
+
+class TestUndirectedReverse:
+    def test_to_undirected_symmetric(self):
+        g = generators.chain(4)
+        und = to_undirected(g)
+        pairs = set(zip(und.src.tolist(), und.dst.tolist()))
+        assert all((b, a) in pairs for a, b in pairs)
+        assert und.num_edges == 6
+
+    def test_to_undirected_no_duplicates(self):
+        g = Graph(3, np.array([0, 1]), np.array([1, 0]))  # already mutual
+        assert to_undirected(g).num_edges == 2
+
+    def test_reverse_edges(self):
+        g = generators.chain(3)
+        rev = reverse_edges(g)
+        assert rev.in_degrees()[0] == 1
+        assert rev.in_degrees()[2] == 0
+
+    def test_reverse_is_involution(self, medium_graph):
+        twice = reverse_edges(reverse_edges(medium_graph))
+        assert np.array_equal(twice.src, medium_graph.src)
+        assert np.array_equal(twice.dst, medium_graph.dst)
+
+
+class TestConnectedComponent:
+    def test_picks_largest(self):
+        # Two components: a 5-chain and a 2-chain (+ isolated vertex).
+        src = np.array([0, 1, 2, 3, 5])
+        dst = np.array([1, 2, 3, 4, 6])
+        g = Graph(8, src, dst)
+        sub, old_ids = largest_connected_component(g)
+        assert sub.num_vertices == 5
+        assert set(old_ids.tolist()) == {0, 1, 2, 3, 4}
+
+    def test_fully_connected_is_identity_sized(self, medium_graph):
+        sub, _ = largest_connected_component(medium_graph)
+        assert sub.num_vertices >= medium_graph.num_vertices // 2
+
+    def test_direction_ignored(self):
+        # 0 -> 1 <- 2 is weakly connected.
+        g = Graph(3, np.array([0, 2]), np.array([1, 1]))
+        sub, _ = largest_connected_component(g)
+        assert sub.num_vertices == 3
+
+
+class TestRemoveSelfLoops:
+    def test_inverse_of_with_self_loops(self, small_graph):
+        looped = small_graph.with_self_loops()
+        clean = remove_self_loops(looped)
+        assert clean.num_edges == small_graph.num_edges
+        assert (clean.src != clean.dst).all()
+
+    def test_edge_features_follow(self):
+        g = Graph(3, np.array([0, 1, 2]), np.array([1, 1, 0]),
+                  edge_features=np.arange(6, dtype=np.float32).reshape(3, 2))
+        clean = remove_self_loops(g)  # drops only the (1, 1) loop
+        assert clean.num_edges == 2
+        assert np.allclose(clean.edge_features, [[0, 1], [4, 5]])

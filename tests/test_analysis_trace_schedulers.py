@@ -1,0 +1,199 @@
+"""Analysis reports, Chrome trace export, LR schedulers, vertex cuts."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_dependencies,
+    analyze_graph,
+    gini,
+    recommend_strategy,
+)
+from repro.cluster.timeline import Timeline
+from repro.cluster.trace import save_chrome_trace, timeline_to_chrome_trace
+from repro.graph import generators
+from repro.partition.chunk import chunk_partition
+from repro.partition.vertex_cut import (
+    destination_vertex_cut,
+    greedy_vertex_cut,
+)
+from repro.tensor.optim import SGD
+from repro.tensor.schedulers import CosineAnnealingLR, StepLR, WarmupLR
+from repro.tensor.tensor import Tensor
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini(np.ones(10)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_is_high(self):
+        values = np.zeros(100)
+        values[0] = 100.0
+        assert gini(values) > 0.9
+
+    def test_empty(self):
+        assert gini(np.array([])) == 0.0
+
+
+class TestGraphReport:
+    def test_local_graph_high_locality(self):
+        g = generators.locality_graph(300, 1500, locality_width=0.005,
+                                      global_fraction=0.02, seed=0)
+        report = analyze_graph(g)
+        assert report.chunk_locality > 0.8
+        assert report.num_edges == g.num_edges
+
+    def test_random_graph_low_locality(self):
+        g = generators.erdos_renyi(300, 1500, seed=0)
+        assert analyze_graph(g).chunk_locality < 0.3
+
+    def test_hub_graph_high_gini(self):
+        star = generators.star(100, inward=True)
+        flat = generators.ring(100)
+        assert analyze_graph(star).degree_gini > analyze_graph(flat).degree_gini
+
+    def test_as_dict(self):
+        report = analyze_graph(generators.ring(8))
+        assert "avg_degree" in report.as_dict()
+
+
+class TestDependencyReport:
+    def test_fields_consistent(self, medium_graph):
+        p = chunk_partition(medium_graph, 4)
+        report = analyze_dependencies(medium_graph, p, num_layers=2, dim=8)
+        assert report.num_workers == 4
+        assert len(report.remote_deps_per_worker) == 4
+        assert report.comm_bytes_per_layer == sum(
+            report.remote_deps_per_worker) * 8 * 4
+        assert 1.0 <= report.replication_factor <= 4.0
+
+    def test_recommendations_follow_structure(self):
+        local = generators.locality_graph(
+            300, 900, locality_width=0.004, global_fraction=0.01, seed=0
+        )
+        dense = generators.complete(40)
+        assert recommend_strategy(local, chunk_partition(local, 4)) == "depcache"
+        assert recommend_strategy(dense, chunk_partition(dense, 4)) == "depcomm"
+
+
+class TestChromeTrace:
+    def test_events_and_metadata(self):
+        tl = Timeline(2)
+        tl.advance(0, "gpu", 1.0)
+        tl.advance(1, "net_recv", 0.5, num_bytes=128)
+        trace = timeline_to_chrome_trace(tl)
+        kinds = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(kinds) == 2
+        recv = next(e for e in kinds if e["name"] == "net_recv")
+        assert recv["args"]["bytes"] == 128
+        assert recv["dur"] == pytest.approx(0.5e6)
+        names = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert len(names) == 2
+
+    def test_save_roundtrip(self, tmp_path):
+        tl = Timeline(1)
+        tl.advance(0, "cpu", 0.1)
+        path = save_chrome_trace(tl, tmp_path / "trace")
+        assert path.suffix == ".json"
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+
+    def test_engine_timeline_exports(self, small_graph, cluster2, tmp_path):
+        from repro.core.model import GNNModel
+        from repro.engines import DepCommEngine
+        from repro.training.prep import prepare_graph
+
+        graph = prepare_graph(small_graph, "gcn")
+        model = GNNModel.gcn(graph.feature_dim, 8, graph.num_classes, seed=1)
+        engine = DepCommEngine(graph, model, cluster2, record_timeline=True)
+        engine.charge_epoch()
+        path = save_chrome_trace(engine.timeline, tmp_path / "epoch")
+        trace = json.loads(path.read_text())
+        assert len(trace["traceEvents"]) > 4
+
+
+class TestSchedulers:
+    def make_opt(self, lr=1.0):
+        return SGD([Tensor([0.0], requires_grad=True)], lr=lr)
+
+    def test_step_lr_decays(self):
+        sched = StepLR(self.make_opt(), step_size=2, gamma=0.5)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == [1.0, 0.5, 0.5, 0.25]
+
+    def test_cosine_reaches_eta_min(self):
+        sched = CosineAnnealingLR(self.make_opt(), t_max=10, eta_min=0.1)
+        for _ in range(10):
+            last = sched.step()
+        assert last == pytest.approx(0.1)
+
+    def test_cosine_monotone_decreasing(self):
+        sched = CosineAnnealingLR(self.make_opt(), t_max=8)
+        lrs = [sched.step() for _ in range(8)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_warmup_ramps_then_holds(self):
+        sched = WarmupLR(self.make_opt(), warmup_epochs=4, start_factor=0.2)
+        lrs = [sched.step() for _ in range(6)]
+        assert lrs[0] < lrs[1] < lrs[2] < lrs[3] == 1.0 == lrs[5]
+
+    def test_scheduler_mutates_optimizer(self):
+        opt = self.make_opt()
+        StepLR(opt, step_size=1, gamma=0.1).step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(self.make_opt(), step_size=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(self.make_opt(), t_max=0)
+        with pytest.raises(ValueError):
+            WarmupLR(self.make_opt(), warmup_epochs=0)
+
+
+class TestVertexCut:
+    def test_greedy_assigns_every_edge(self, medium_graph):
+        cut = greedy_vertex_cut(medium_graph, 4, seed=1)
+        assert len(cut.edge_assignment) == medium_graph.num_edges
+        assert cut.edge_assignment.min() >= 0
+        assert cut.edge_assignment.max() < 4
+
+    def test_replication_bounds(self, medium_graph):
+        cut = greedy_vertex_cut(medium_graph, 4, seed=1)
+        rf = cut.replication_factor(medium_graph)
+        assert 1.0 <= rf <= 4.0
+
+    def test_greedy_beats_random_replication(self, medium_graph):
+        greedy = greedy_vertex_cut(medium_graph, 4, seed=1)
+        rng = np.random.default_rng(0)
+        random_cut = greedy_vertex_cut(medium_graph, 4, seed=2)
+        random_cut.edge_assignment = rng.integers(
+            0, 4, medium_graph.num_edges
+        )
+        assert (
+            greedy.replication_factor(medium_graph)
+            <= random_cut.replication_factor(medium_graph) + 1e-9
+        )
+
+    def test_edge_balance(self, medium_graph):
+        cut = greedy_vertex_cut(medium_graph, 4, seed=1)
+        assert cut.edge_balance() < 1.5
+
+    def test_destination_cut_matches_partitioning(self, medium_graph):
+        p = chunk_partition(medium_graph, 4)
+        cut = destination_vertex_cut(medium_graph, p.assignment)
+        assert np.array_equal(
+            cut.edge_assignment, p.assignment[medium_graph.dst]
+        )
+        # The engines' mirror count equals distinct remote sources.
+        v = int(medium_graph.dst[0])
+        assert p.owner(v) in cut.workers_of(medium_graph, v)
+
+    def test_isolated_vertex_handled(self):
+        from repro.graph.graph import Graph
+        g = Graph(5, np.array([0]), np.array([1]))  # 2,3,4 isolated
+        cut = greedy_vertex_cut(g, 2, seed=0)
+        assert len(cut.masters) == 5
+        assert cut.replication_factor(g) >= 1.0

@@ -1,0 +1,88 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDatasets:
+    def test_lists_catalog(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ["google", "reddit", "twitter", "pubmed"]:
+            assert name in out
+        assert "paper |V|" in out
+
+
+class TestProbe:
+    def test_prints_constants(self, capsys):
+        assert main(["probe", "--dataset", "cora", "--scale", "0.2",
+                     "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "T_v" in out and "T_c" in out
+
+
+class TestCompare:
+    def test_compares_engines(self, capsys):
+        assert main(["compare", "--dataset", "google", "--scale", "0.2",
+                     "--nodes", "4"]) == 0
+        out = capsys.readouterr().out
+        for engine in ["depcache", "depcomm", "hybrid"]:
+            assert engine in out
+        assert "best:" in out
+
+
+class TestAnalyze:
+    def test_report_and_recommendation(self, capsys):
+        assert main(["analyze", "--dataset", "pokec", "--scale", "0.3",
+                     "--nodes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "replication" in out
+        assert "recommendation:" in out
+
+    def test_partitioner_option(self, capsys):
+        assert main(["analyze", "--dataset", "google", "--scale", "0.2",
+                     "--nodes", "4", "--partitioner", "metis"]) == 0
+        assert "metis" in capsys.readouterr().out
+
+
+class TestTrain:
+    def test_trains_and_reports(self, capsys):
+        assert main([
+            "train", "--dataset", "reddit", "--scale", "0.3",
+            "--nodes", "2", "--epochs", "4", "--eval-every", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "best accuracy" in out
+        assert "cluster time" in out
+
+    def test_checkpoint_written(self, capsys, tmp_path):
+        target = tmp_path / "ckpt"
+        assert main([
+            "train", "--dataset", "reddit", "--scale", "0.3",
+            "--nodes", "2", "--epochs", "2", "--eval-every", "2",
+            "--checkpoint", str(target),
+        ]) == 0
+        assert (tmp_path / "ckpt.npz").exists()
+
+    def test_unknown_dataset_errors(self):
+        with pytest.raises(KeyError):
+            main(["train", "--dataset", "nope", "--epochs", "1"])
+
+    def test_oom_reported_as_error(self, capsys):
+        code = main([
+            "train", "--dataset", "reddit", "--engine", "depcache",
+            "--arch", "gat", "--nodes", "16", "--epochs", "1",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--dataset", "cora", "--engine", "magic"])

@@ -1,0 +1,27 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the public face of the library; these tests execute each
+one in-process (module namespace, real main()) so API drift breaks CI
+rather than users.  The slowest examples are capped via module
+constants where they expose them.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p for p in (Path(__file__).resolve().parents[1] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys, monkeypatch):
+    # Examples guard their entry point with __main__, so run_path with
+    # run_name="__main__" executes them fully.
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.stem} printed nothing"

@@ -1,0 +1,45 @@
+"""Checkpoint save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import GNNModel
+from repro.training.checkpoint import load_checkpoint, save_checkpoint
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        a = GNNModel.gcn(8, 16, 3, seed=1)
+        b = GNNModel.gcn(8, 16, 3, seed=2)
+        path = save_checkpoint(a, tmp_path / "model", epoch=7)
+        meta = load_checkpoint(b, path)
+        assert meta == {"epoch": 7}
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            assert np.array_equal(pa.data, pb.data)
+
+    def test_npz_suffix_added(self, tmp_path):
+        model = GNNModel.gcn(4, 4, 2)
+        path = save_checkpoint(model, tmp_path / "ckpt")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_metadata_types(self, tmp_path):
+        model = GNNModel.gat(4, 4, 2)
+        path = save_checkpoint(
+            model, tmp_path / "m", dataset="reddit", accuracy=0.93, tags=[1, 2]
+        )
+        meta = load_checkpoint(GNNModel.gat(4, 4, 2), path)
+        assert meta["dataset"] == "reddit"
+        assert meta["accuracy"] == pytest.approx(0.93)
+        assert meta["tags"] == [1, 2]
+
+    def test_architecture_mismatch_rejected(self, tmp_path):
+        path = save_checkpoint(GNNModel.gcn(8, 16, 3), tmp_path / "m")
+        with pytest.raises((KeyError, ValueError)):
+            load_checkpoint(GNNModel.gcn(8, 32, 3), path)
+
+    def test_no_metadata(self, tmp_path):
+        model = GNNModel.gin(4, 4, 2, seed=3)
+        path = save_checkpoint(model, tmp_path / "m")
+        meta = load_checkpoint(GNNModel.gin(4, 4, 2, seed=4), path)
+        assert meta == {}
