@@ -17,6 +17,10 @@ Commands
 ``analyze``
     Structural report (degree skew, locality, replication factor) and
     a strategy recommendation for a dataset under a partitioning.
+``chaos``
+    Inject faults (stragglers, link degradation, message loss, worker
+    crashes) and compare how each engine degrades; crashes are
+    recovered by checkpoint rollback-restart.
 """
 
 from __future__ import annotations
@@ -162,6 +166,122 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def _parse_endpoint(token: str):
+    return None if token in ("*", "") else int(token)
+
+
+def _parse_fault_args(args) -> List:
+    """Build fault objects from the ``repro chaos`` flag grammar."""
+    from repro.resilience import (
+        LinkDegradationFault,
+        MessageLossFault,
+        StragglerFault,
+        WorkerCrashFault,
+    )
+
+    faults: List = []
+    for spec in args.straggler or []:
+        parts = spec.split(":")
+        faults.append(StragglerFault(
+            worker=int(parts[0]),
+            gpu_factor=float(parts[1]) if len(parts) > 1 else 4.0,
+            cpu_factor=float(parts[2]) if len(parts) > 2 else None,
+            start=float(parts[3]) if len(parts) > 3 else 0.0,
+            end=float(parts[4]) if len(parts) > 4 else float("inf"),
+        ))
+    for spec in args.degrade or []:
+        parts = spec.split(":")
+        if len(parts) < 3:
+            raise SystemExit(f"--degrade wants SRC:DST:FACTOR, got {spec!r}")
+        faults.append(LinkDegradationFault(
+            src=_parse_endpoint(parts[0]),
+            dst=_parse_endpoint(parts[1]),
+            bandwidth_factor=float(parts[2]),
+            extra_latency_s=float(parts[3]) if len(parts) > 3 else 0.0,
+        ))
+    for spec in args.loss or []:
+        parts = spec.split(":")
+        faults.append(MessageLossFault(
+            drop_fraction=float(parts[0]),
+            src=_parse_endpoint(parts[1]) if len(parts) > 1 else None,
+            dst=_parse_endpoint(parts[2]) if len(parts) > 2 else None,
+        ))
+    for spec in args.crash or []:
+        parts = spec.split(":")
+        if len(parts) < 2:
+            raise SystemExit(f"--crash wants WORKER:TIME, got {spec!r}")
+        faults.append(WorkerCrashFault(
+            worker=int(parts[0]),
+            at_time=float(parts[1]),
+            detection_timeout_s=(
+                float(parts[2]) if len(parts) > 2 else 0.05
+            ),
+        ))
+    if not faults:
+        raise SystemExit(
+            "chaos needs at least one fault "
+            "(--straggler / --degrade / --loss / --crash)"
+        )
+    return faults
+
+
+def cmd_chaos(args) -> int:
+    from repro.resilience import (
+        FaultSchedule,
+        RecoveryPolicy,
+        RetryPolicy,
+        run_chaos,
+    )
+
+    graph = prepare_graph(load_dataset(args.dataset, scale=args.scale), args.arch)
+    spec = spec_of(args.dataset)
+
+    def model_factory():
+        return GNNModel.build(
+            args.arch, graph.feature_dim, args.hidden or spec.hidden_dim,
+            graph.num_classes, num_layers=args.layers, seed=args.seed,
+        )
+
+    cluster = _cluster(args)
+    faults = _parse_fault_args(args)
+    engines = (
+        ["depcache", "depcomm", "hybrid"]
+        if args.engine == "all" else [args.engine]
+    )
+    policy = RecoveryPolicy(checkpoint_every=args.checkpoint_every)
+    rows = []
+    for engine_name in engines:
+        schedule = FaultSchedule(list(faults), seed=args.fault_seed)
+        try:
+            report = run_chaos(
+                engine_name, graph, model_factory, cluster, schedule,
+                epochs=args.epochs, retry=RetryPolicy(), policy=policy,
+                mode=args.mode,
+            )
+        except OutOfMemoryError as err:
+            rows.append([engine_name, "OOM", "-", "-", "-", "-", err.label])
+            continue
+        rows.append([
+            engine_name,
+            f"{report.clean_epoch_s * 1e3:.2f}",
+            f"{report.faulty_epoch_s * 1e3:.2f}",
+            f"{report.degradation:.2f}x",
+            str(report.retries),
+            f"{report.idle_fraction * 100:.1f}%",
+            (
+                f"{len(report.recoveries)} "
+                f"({report.total_recovery_s * 1e3:.1f} ms)"
+                if report.recoveries else "-"
+            ),
+        ])
+    print(render_table(
+        ["engine", "clean ms", "faulty ms", "slowdown", "retries",
+         "idle", "recoveries"],
+        rows,
+    ))
+    return 0
+
+
 def cmd_compare(args) -> int:
     rows = []
     times = {}
@@ -222,6 +342,31 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--partitioner", default="chunk",
                          choices=["chunk", "hash", "fennel", "metis"])
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="inject faults and compare engine degradation/recovery",
+    )
+    _add_model_args(chaos)
+    _add_cluster_args(chaos)
+    chaos.add_argument("--engine", default="all",
+                       choices=["all", "depcache", "depcomm", "hybrid"])
+    chaos.add_argument("--epochs", type=int, default=5)
+    chaos.add_argument("--mode", choices=["timing", "train"],
+                       default="timing")
+    chaos.add_argument("--straggler", action="append", metavar="SPEC",
+                       help="WORKER:GPU_FACTOR[:CPU_FACTOR[:START[:END]]]")
+    chaos.add_argument("--degrade", action="append", metavar="SPEC",
+                       help="SRC:DST:FACTOR[:EXTRA_LATENCY_S]; '*' matches "
+                            "any endpoint")
+    chaos.add_argument("--loss", action="append", metavar="SPEC",
+                       help="FRACTION[:SRC[:DST]] of sends dropped")
+    chaos.add_argument("--crash", action="append", metavar="SPEC",
+                       help="WORKER:TIME[:DETECTION_TIMEOUT_S]")
+    chaos.add_argument("--checkpoint-every", type=int, default=5,
+                       help="epochs between recovery checkpoints")
+    chaos.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for message-loss draws")
+
     return parser
 
 
@@ -231,6 +376,7 @@ _COMMANDS = {
     "train": cmd_train,
     "compare": cmd_compare,
     "analyze": cmd_analyze,
+    "chaos": cmd_chaos,
 }
 
 

@@ -11,7 +11,15 @@ from repro.cluster.device import DeviceProfile, T4, V100, CPU_XEON
 from repro.cluster.network import NetworkProfile, ECS_NETWORK, IBV_NETWORK
 from repro.cluster.memory import MemoryTracker, OutOfMemoryError
 from repro.cluster.spec import ClusterSpec
-from repro.cluster.timeline import Timeline, Interval
+from repro.cluster.timeline import (
+    CPU,
+    GPU,
+    IDLE,
+    Interval,
+    NET_RECV,
+    NET_SEND,
+    Timeline,
+)
 from repro.cluster.trace import save_chrome_trace, timeline_to_chrome_trace
 
 __all__ = [
@@ -27,6 +35,11 @@ __all__ = [
     "ClusterSpec",
     "Timeline",
     "Interval",
+    "GPU",
+    "CPU",
+    "NET_SEND",
+    "NET_RECV",
+    "IDLE",
     "save_chrome_trace",
     "timeline_to_chrome_trace",
 ]

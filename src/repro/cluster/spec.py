@@ -8,12 +8,15 @@ connects them.  Factory methods mirror the paper's two testbeds.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List
+from typing import List, Optional, TYPE_CHECKING
 
 from repro.cluster.device import CPU_XEON, DeviceProfile, T4, V100
 from repro.cluster.memory import MemoryTracker
 from repro.cluster.network import ECS_NETWORK, IBV_NETWORK, LOOPBACK, NetworkProfile
 from repro.cluster.timeline import Timeline
+
+if TYPE_CHECKING:  # avoid a runtime cluster -> resilience import cycle
+    from repro.resilience.faults import FaultSchedule
 
 
 @dataclass
@@ -34,6 +37,10 @@ class ClusterSpec:
     device: DeviceProfile = T4
     network: NetworkProfile = ECS_NETWORK
     name: str = "cluster"
+    # Optional fault schedule (repro.resilience); None = healthy cluster.
+    # Engines consult it through a FaultInjector; an empty/None schedule
+    # leaves every modeled time bit-identical to the fault-free path.
+    faults: Optional["FaultSchedule"] = None
 
     def __post_init__(self):
         if self.num_workers < 1:
@@ -60,6 +67,20 @@ class ClusterSpec:
     def with_workers(self, num_workers: int) -> "ClusterSpec":
         """Same hardware, different node count (Figure 12 scaling)."""
         return replace(self, num_workers=num_workers)
+
+    def with_faults(self, schedule: "FaultSchedule") -> "ClusterSpec":
+        """Same cluster, with a fault schedule injected (chaos runs)."""
+        for crash in schedule.crashes() if schedule else ():
+            if not 0 <= crash.worker < self.num_workers:
+                raise ValueError(
+                    f"crash fault targets worker {crash.worker}, but the "
+                    f"cluster has {self.num_workers} workers"
+                )
+        return replace(self, faults=schedule)
+
+    def healthy(self) -> "ClusterSpec":
+        """Same cluster with any fault schedule removed (baseline runs)."""
+        return replace(self, faults=None)
 
     def make_timeline(self, record: bool = True) -> Timeline:
         return Timeline(self.num_workers, record=record)

@@ -17,8 +17,9 @@ GPU = "gpu"
 CPU = "cpu"
 NET_SEND = "net_send"
 NET_RECV = "net_recv"
+IDLE = "idle"
 
-KINDS = (GPU, CPU, NET_SEND, NET_RECV)
+KINDS = (GPU, CPU, NET_SEND, NET_RECV, IDLE)
 
 
 @dataclass(frozen=True)
@@ -72,10 +73,24 @@ class Timeline:
                 Interval(worker, kind, float(start), float(start + duration), num_bytes)
             )
 
-    def advance_at_least_until(self, worker: int, time: float) -> None:
-        """Move a worker's clock forward to ``time`` (idle wait)."""
-        if time > self.clocks[worker]:
-            self.clocks[worker] = time
+    def advance_at_least_until(
+        self, worker: int, time: float, record_idle: bool = False
+    ) -> None:
+        """Move a worker's clock forward to ``time``.
+
+        With ``record_idle`` the gap is logged as an ``idle`` interval
+        (a stall: waiting on a barrier, a timeout, a straggler); without
+        it the gap is assumed covered by overlapped activity intervals
+        the caller already recorded.
+        """
+        start = float(self.clocks[worker])
+        if time <= start:
+            return
+        self.clocks[worker] = time
+        if record_idle:
+            self.totals[IDLE][worker] += time - start
+            if self.record:
+                self.intervals.append(Interval(worker, IDLE, start, float(time)))
 
     def record_interval(
         self,
@@ -102,14 +117,19 @@ class Timeline:
             )
 
     def barrier(self, workers: Optional[Sequence[int]] = None) -> float:
-        """Synchronise clocks to the max (BSP superstep boundary)."""
+        """Synchronise clocks to the max (BSP superstep boundary).
+
+        Workers that arrive early have their wait logged as an ``idle``
+        interval, so utilization traces show barrier stalls (straggler
+        waits, retry timeouts) instead of silently losing them.
+        """
         if workers is None:
-            t = float(self.clocks.max())
-            self.clocks[:] = t
+            idx = np.arange(self.num_workers)
         else:
             idx = np.asarray(list(workers), dtype=np.int64)
-            t = float(self.clocks[idx].max())
-            self.clocks[idx] = t
+        t = float(self.clocks[idx].max())
+        for w in idx:
+            self.advance_at_least_until(int(w), t, record_idle=True)
         return t
 
     @property

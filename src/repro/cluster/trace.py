@@ -19,6 +19,7 @@ _COLORS = {
     "cpu": "bad",
     "net_send": "yellow",
     "net_recv": "olive",
+    "idle": "grey",
 }
 
 

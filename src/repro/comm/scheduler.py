@@ -16,13 +16,17 @@ optimizations map to :class:`CommOptions` flags:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
 
 import numpy as np
 
 from repro.cluster.network import NetworkProfile
-from repro.cluster.timeline import CPU, GPU, NET_RECV, NET_SEND, Timeline
+from repro.cluster.timeline import CPU, GPU, IDLE, NET_RECV, NET_SEND, Timeline
+
+if TYPE_CHECKING:  # comm stays below resilience in the layering
+    from repro.resilience.injector import FaultInjector
+    from repro.resilience.retry import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -54,7 +58,12 @@ class CommOptions:
 
 @dataclass
 class ExchangeStats:
-    """Per-phase accounting (seconds / bytes, per worker)."""
+    """Per-phase accounting (seconds / bytes, per worker).
+
+    ``send_s`` includes retransmitted copies when message-loss faults
+    are active; ``retry_wait_s`` is the per-sender timeout + backoff
+    stall, and ``retries`` counts retransmissions across the phase.
+    """
 
     pack_s: np.ndarray
     send_s: np.ndarray
@@ -62,6 +71,8 @@ class ExchangeStats:
     compute_s: np.ndarray
     phase_s: np.ndarray
     total_bytes: int
+    retry_wait_s: Optional[np.ndarray] = field(default=None)
+    retries: int = 0
 
     @property
     def makespan(self) -> float:
@@ -77,6 +88,8 @@ def run_exchange(
     options: CommOptions = CommOptions(),
     barrier: bool = True,
     bytes_per_message: float = 0.0,
+    faults: Optional["FaultInjector"] = None,
+    retry: Optional["RetryPolicy"] = None,
 ) -> ExchangeStats:
     """Charge one exchange-and-compute superstep to the timeline.
 
@@ -97,6 +110,16 @@ def run_exchange(
         Size of one per-vertex message; used to derive the enqueue count
         each chunk pays (``chunk_bytes / bytes_per_message``).  0 means
         one enqueue per chunk.
+    faults:
+        Optional :class:`repro.resilience.injector.FaultInjector`.  When
+        given, link bandwidth/latency degradations, straggler CPU
+        slowdowns (packing and link serving), and message drops apply;
+        dropped chunks are retransmitted under ``retry`` with the
+        timeout + backoff stall charged to the timeline as ``idle``.
+        ``None`` (the default) is the bit-identical fault-free path.
+    retry:
+        Retransmission policy for lost chunks (only meaningful with
+        ``faults``); ``None`` disables loss handling.
     """
     m = timeline.num_workers
     volumes = np.asarray(volumes, dtype=np.float64)
@@ -115,21 +138,75 @@ def run_exchange(
     phase_s = np.zeros(m)
     congested = not options.ring
 
+    retry_wait = np.zeros(m) if faults is not None else None
+    retries = 0
+    phase = faults.next_phase() if faults is not None else 0
+
     for i in range(m):
-        sends = [volumes[i, j] for j in range(m) if j != i and volumes[i, j] > 0]
-        recvs = [volumes[j, i] for j in range(m) if j != i and volumes[j, i] > 0]
-        pack_s[i] = sum(
-            network.pack_time(
-                b,
-                num_messages=(
-                    int(round(b / bytes_per_message)) if bytes_per_message else 1
-                ),
-                lock_free=options.lock_free,
+        if faults is None:
+            sends = [
+                volumes[i, j] for j in range(m) if j != i and volumes[i, j] > 0
+            ]
+            recvs = [
+                volumes[j, i] for j in range(m) if j != i and volumes[j, i] > 0
+            ]
+            pack_s[i] = sum(
+                network.pack_time(
+                    b,
+                    num_messages=(
+                        int(round(b / bytes_per_message)) if bytes_per_message else 1
+                    ),
+                    lock_free=options.lock_free,
+                )
+                for b in sends
             )
-            for b in sends
-        )
-        send_s[i] = sum(network.wire_time(b) for b in sends)
-        recv_s[i] = sum(network.wire_time(b, congested=congested) for b in recvs)
+            send_s[i] = sum(network.wire_time(b) for b in sends)
+            recv_s[i] = sum(
+                network.wire_time(b, congested=congested) for b in recvs
+            )
+            wait_i = 0.0
+            recv_bytes = int(sum(recvs))
+            recv_wires = [
+                network.wire_time(b, congested=congested) for b in recvs
+            ]
+        else:
+            # Fault-aware path: degraded links, slow packing on straggler
+            # CPUs, dropped chunks retransmitted with timeout + backoff.
+            t_i = timeline.now(i)
+            cpu_slow = faults.cpu_factor(i, t_i)
+            wait_i = 0.0
+            recv_bytes = 0
+            recv_wires = []
+            for j in range(m):
+                if j == i:
+                    continue
+                b = volumes[i, j]
+                if b > 0:
+                    pack = network.pack_time(
+                        b,
+                        num_messages=(
+                            int(round(b / bytes_per_message))
+                            if bytes_per_message
+                            else 1
+                        ),
+                        lock_free=options.lock_free,
+                    )
+                    pack_s[i] += pack * cpu_slow
+                    plan = faults.plan_transfer(
+                        network, i, j, b, t_i, False, retry, phase
+                    )
+                    send_s[i] += plan.send_s
+                    wait_i += plan.wait_s
+                    retries += plan.retries
+                b = volumes[j, i]
+                if b > 0:
+                    wire = faults.wire_time(
+                        network, j, i, b, t_i, congested=congested
+                    )
+                    recv_s[i] += wire
+                    recv_wires.append(wire)
+                    recv_bytes += int(b)
+            retry_wait[i] = wait_i
         compute_s[i] = local_compute[i] + sum(
             chunk_compute[j, i] for j in range(m) if j != i
         )
@@ -138,16 +215,18 @@ def run_exchange(
         # CPU packing always precedes the wire.
         timeline.advance(i, CPU, pack_s[i])
         t_comm_start = timeline.now(i)
-        comm = max(send_s[i], recv_s[i])  # full-duplex NIC
-        recv_bytes = int(sum(recvs))
+        # Full-duplex NIC; a sender blocked on timeouts/backoff holds the
+        # phase open even if its receive side finished.
+        comm = max(send_s[i] + wait_i, recv_s[i])
         if options.overlap and compute_s[i] > 0 and comm > 0:
             # Pipeline: first chunk must arrive before compute starts.
-            fill = min(
-                (network.wire_time(b, congested=congested) for b in recvs),
-                default=0.0,
-            )
+            fill = min(recv_wires, default=0.0)
             span = max(comm, fill + compute_s[i])
             timeline.record_interval(i, NET_SEND, t_comm_start, send_s[i])
+            if wait_i > 0:
+                timeline.record_interval(
+                    i, IDLE, t_comm_start + send_s[i], wait_i
+                )
             timeline.record_interval(
                 i, NET_RECV, t_comm_start, recv_s[i], num_bytes=recv_bytes
             )
@@ -155,6 +234,10 @@ def run_exchange(
             timeline.advance_at_least_until(i, t_comm_start + span)
         else:
             timeline.record_interval(i, NET_SEND, t_comm_start, send_s[i])
+            if wait_i > 0:
+                timeline.record_interval(
+                    i, IDLE, t_comm_start + send_s[i], wait_i
+                )
             timeline.record_interval(
                 i, NET_RECV, t_comm_start, recv_s[i], num_bytes=recv_bytes
             )
@@ -171,4 +254,6 @@ def run_exchange(
         compute_s=compute_s,
         phase_s=phase_s,
         total_bytes=int(volumes[off_diag].sum()),
+        retry_wait_s=retry_wait,
+        retries=retries,
     )

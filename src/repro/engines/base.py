@@ -23,8 +23,11 @@ import numpy as np
 
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.memory import MemoryTracker
-from repro.cluster.timeline import GPU, NET_SEND, Timeline
+from repro.cluster.timeline import CPU, GPU, IDLE, NET_RECV, NET_SEND, Timeline
 from repro.comm.scheduler import CommOptions, run_exchange
+from repro.resilience.faults import WorkerCrashError, WorkerCrashFault
+from repro.resilience.injector import FaultInjector
+from repro.resilience.retry import RetryPolicy
 from repro.core.blocks import LayerBlock, build_block
 from repro.core.mirror import MirrorExchange
 from repro.core.model import GNNModel
@@ -121,6 +124,7 @@ class BaseEngine:
         mu: float = 0.8,
         memory_limit_bytes: Optional[int] = None,
         update_mode: str = "allreduce",
+        retry: Optional[RetryPolicy] = None,
     ):
         if update_mode not in ("allreduce", "parameter-server"):
             raise ValueError(
@@ -143,6 +147,15 @@ class BaseEngine:
             raise ValueError("partitioning does not match cluster size")
         self.comm = comm
         self.update_mode = update_mode
+        # Resilience: a truthy (non-empty) fault schedule on the cluster
+        # activates the fault-aware charging paths; otherwise every code
+        # path below is bit-identical to the fault-free engine.
+        if cluster.faults:
+            self.faults: Optional[FaultInjector] = FaultInjector(cluster.faults)
+            self.retry: Optional[RetryPolicy] = retry or RetryPolicy()
+        else:
+            self.faults = None
+            self.retry = None
         self.timeline: Timeline = cluster.make_timeline(record=record_timeline)
         self.mu = mu
         self.memory_limit_bytes = memory_limit_bytes
@@ -248,6 +261,99 @@ class BaseEngine:
                 self._pos_in_compute[l][w] = pos
 
     # ------------------------------------------------------------------
+    # Resilience: fault-aware lookups, crash detection, re-provisioning
+    # ------------------------------------------------------------------
+    def _device(self, worker: int):
+        """The device profile ``worker`` experiences *now* (stragglers)."""
+        if self.faults is None:
+            return self.cluster.device
+        return self.faults.device_view(
+            self.cluster.device, worker, self.timeline.now(worker)
+        )
+
+    def _sync(self) -> float:
+        """Barrier + crash detection (the failure detector fires here).
+
+        BSP layer barriers are where a dead worker becomes observable:
+        everyone else arrives, the detector times out, and the engine
+        surfaces :class:`WorkerCrashError` for the recovery policy
+        (:mod:`repro.training.resilient`) to handle.
+        """
+        t = self.timeline.barrier()
+        if self.faults is None:
+            return t
+        fault = self.faults.schedule.pending_crash(t)
+        if fault is None:
+            return t
+        if fault.detection_timeout_s > 0:
+            for w in range(self.cluster.num_workers):
+                self.timeline.advance(w, IDLE, fault.detection_timeout_s)
+        raise WorkerCrashError(fault, self.timeline.barrier())
+
+    def reprovision_bytes(self, worker: int) -> int:
+        """Dependency state a replacement for ``worker`` must re-fetch.
+
+        Every engine re-transfers the worker's own partition (features +
+        parameters); on top of that comes the engine-specific dependency
+        state: DepCache must re-materialise its cached L-hop closures
+        (features of every cached vertex plus the replicated adjacency),
+        while DepComm re-registers mirrors and fetches nothing -- the
+        churn-side of the hybrid trade-off.
+        """
+        plan = self.plan()
+        feat_bytes = self.graph.feature_dim * 4
+        owned = self.partitioning.part(worker)
+        total = len(owned) * feat_bytes + self.model.parameter_bytes()
+        for l in range(self.num_layers):
+            total += len(plan.cached_deps[l][worker]) * feat_bytes
+            block = plan.blocks[l][worker]
+            total += block.num_edges * 12  # replicated adjacency (src,dst,w)
+        return int(total)
+
+    def recover_from_crash(
+        self, crash, provision_s: float = 0.05
+    ) -> Tuple[float, int]:
+        """Charge a rollback-restart re-provision to the timeline.
+
+        Models the replacement worker being provisioned, peers streaming
+        the partition plus cached dependency state to it, and the
+        preprocessing (probe + Algorithm 4) re-running; every surviving
+        worker idles at the re-admission barrier meanwhile.  Returns
+        ``(recovery_seconds, refetch_bytes)``; the caller is responsible
+        for rolling model/optimizer state back to the last checkpoint.
+        """
+        fault = crash.fault if isinstance(crash, WorkerCrashError) else crash
+        if not isinstance(fault, WorkerCrashFault):
+            raise TypeError(f"expected a crash fault, got {fault!r}")
+        if self.faults is None:
+            raise RuntimeError("engine has no fault schedule to recover from")
+        worker = fault.worker
+        t0 = self.timeline.barrier()
+        refetch = self.reprovision_bytes(worker)
+        network = self.cluster.network
+        if provision_s > 0:
+            self.timeline.advance(worker, IDLE, provision_s)
+        self.timeline.advance(
+            worker, NET_RECV, network.wire_time(refetch), num_bytes=refetch
+        )
+        plan = self.plan()
+        if plan.preprocessing_s > 0:
+            self.timeline.advance(worker, CPU, plan.preprocessing_s)
+        self.faults.schedule.mark_recovered(fault)
+        t1 = self.timeline.barrier()  # survivors idle until re-admission
+        return t1 - t0, refetch
+
+    def rollback_to_epoch(self, epoch: int) -> None:
+        """Reset the epoch counter after a checkpoint restore.
+
+        The modeled clock is *not* rewound -- lost work stays on the
+        timeline -- but replayed epochs report their logical numbers.
+        """
+        if epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {epoch}")
+        self._epoch = int(epoch)
+
+    # ------------------------------------------------------------------
     # Memory model
     # ------------------------------------------------------------------
     def _account_memory(self, plan: EnginePlan) -> None:
@@ -322,20 +428,20 @@ class BaseEngine:
         """One full-batch training epoch (forward, loss, backward, update)."""
         plan = self.plan()
         m = self.cluster.num_workers
-        t_start = self.timeline.barrier()
+        t_start = self._sync()
 
         h_values, in_tensors, out_tensors = self._forward(plan, training=True)
         loss_value, loss_tensors = self._compute_loss(plan, out_tensors)
-        t_forward = self.timeline.barrier()
+        t_forward = self._sync()
 
         self._backward(plan, in_tensors, out_tensors, loss_tensors)
-        t_backward = self.timeline.barrier()
+        t_backward = self._sync()
 
         self._charge_allreduce()
         if optimizer is not None:
             optimizer.step()
             optimizer.zero_grad()
-        t_end = self.timeline.barrier()
+        t_end = self._sync()
 
         self._epoch += 1
         comm_bytes = sum(
@@ -379,7 +485,7 @@ class BaseEngine:
                 h_values[l][w] = out.data
                 in_tensors[l - 1][w] = h_in
                 out_tensors[l - 1][w] = out
-            self.timeline.barrier()
+            self._sync()
         return h_values, in_tensors, out_tensors
 
     def _gather_inputs(
@@ -443,7 +549,7 @@ class BaseEngine:
             loss_value += float(loss_w.data)
             # Prediction + loss cost: a softmax over the classes.
             flops = 6.0 * len(mine) * self.dims[-1]
-            self.timeline.advance(w, GPU, self.cluster.device.dense_time(flops))
+            self.timeline.advance(w, GPU, self._device(w).dense_time(flops))
         return loss_value, loss_tensors
 
     # -- backward ------------------------------------------------------
@@ -469,7 +575,7 @@ class BaseEngine:
                     if grad_in is not None:
                         self._route_input_grads(plan, grad_acc, l, w, grad_in)
             self._charge_backward_layer(plan, l)
-            self.timeline.barrier()
+            self._sync()
 
     def _route_input_grads(self, plan, grad_acc, l, w, grad_rows):
         """PostToDepNbr: push input grads to whoever computed the value."""
@@ -507,13 +613,13 @@ class BaseEngine:
     def _layer_compute_split(self, plan: EnginePlan, l: int):
         """Per-worker (chunk_compute, local_compute, dense) seconds."""
         m = self.cluster.num_workers
-        device = self.cluster.device
         chunk_compute = np.zeros((m, m))
         local_compute = np.zeros(m)
         dense = np.zeros(m)
         layer = self.model.layer(l)
         d_in = self.dims[l - 1]
         for w in range(m):
+            device = self._device(w)
             block = plan.blocks[l - 1][w]
             dense[w] = device.dense_time(layer.dense_flops(block))
             if block.num_edges == 0:
@@ -570,6 +676,8 @@ class BaseEngine:
             options=self.comm,
             barrier=False,
             bytes_per_message=self.dims[l - 1] * 4,
+            faults=self.faults,
+            retry=self.retry,
         )
         for w in range(self.cluster.num_workers):
             self.timeline.advance(w, GPU, dense[w])
@@ -588,6 +696,8 @@ class BaseEngine:
             options=self.comm,
             barrier=False,
             bytes_per_message=self.dims[l - 1] * 4,
+            faults=self.faults,
+            retry=self.retry,
         )
 
     def _charge_allreduce(self) -> None:
@@ -612,11 +722,29 @@ class BaseEngine:
             # Ring all-reduce: 2 (m-1)/m of the data crosses each link.
             wire = 2.0 * (m - 1) / m * param_bytes / network.bytes_per_s
             latency = 2.0 * (m - 1) * network.latency_s
+        if self.faults is not None:
+            # Both collectives are bounded by the slowest participating
+            # link (ring: every link is on the critical path; PS: the
+            # server serialises all transfers).
+            t = self.timeline.makespan
+            schedule = self.faults.schedule
+            divisor = 1.0
+            extra_latency = 0.0
+            for i in range(m):
+                for j in range(m):
+                    if i == j:
+                        continue
+                    d, e = schedule.link_degradation(i, j, t)
+                    divisor = max(divisor, d)
+                    extra_latency = max(extra_latency, e)
+            wire *= divisor
+            hops = 2.0 * (m - 1) if self.update_mode == "allreduce" else 2.0
+            latency += extra_latency * hops
         for w in range(m):
             self.timeline.advance(
                 w, NET_SEND, wire + latency, num_bytes=int(param_bytes)
             )
-        self.timeline.barrier()
+        self._sync()
 
     # ------------------------------------------------------------------
     # Evaluation and convenience
@@ -652,10 +780,10 @@ class BaseEngine:
         Returns the epoch's modeled seconds.
         """
         plan = self.plan()
-        t_start = self.timeline.barrier()
+        t_start = self._sync()
         for l in range(1, self.num_layers + 1):
             self._charge_forward_layer(plan, l)
-            self.timeline.barrier()
+            self._sync()
         # Loss/prediction charge (matches _compute_loss).
         if self.graph.train_mask is not None:
             for w in range(self.cluster.num_workers):
@@ -663,15 +791,15 @@ class BaseEngine:
                 mine = int(self.graph.train_mask[owned].sum())
                 flops = 6.0 * mine * self.dims[-1]
                 self.timeline.advance(
-                    w, GPU, self.cluster.device.dense_time(flops)
+                    w, GPU, self._device(w).dense_time(flops)
                 )
-        self.timeline.barrier()
+        self._sync()
         for l in range(self.num_layers, 0, -1):
             self._charge_backward_layer(plan, l)
-            self.timeline.barrier()
+            self._sync()
         self._charge_allreduce()
         self._epoch += 1
-        return self.timeline.barrier() - t_start
+        return self._sync() - t_start
 
     def epoch_time_estimate(self) -> float:
         """Modeled seconds for one epoch (timing-only fast path)."""

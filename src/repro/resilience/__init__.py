@@ -1,0 +1,41 @@
+"""Resilience: fault injection, retry semantics, and crash recovery.
+
+The paper evaluates NeutronStar on a healthy cluster; this subsystem
+asks what the DepCache/DepComm trade-off looks like *off* the happy
+path.  Declarative, seeded fault schedules (:mod:`.faults`) are applied
+to device/network lookups by a per-run injector (:mod:`.injector`);
+lost messages are retransmitted with timeout + exponential backoff
+(:mod:`.retry`); crashed workers are recovered by checkpoint
+rollback-restart under a :class:`RecoveryPolicy` (:mod:`.recovery`,
+executed by :class:`repro.training.resilient.ResilientTrainer`); and
+the chaos harness (:mod:`.chaos`) measures the damage per engine.
+"""
+
+from repro.resilience.faults import (
+    FaultSchedule,
+    LinkDegradationFault,
+    MessageLossFault,
+    StragglerFault,
+    WorkerCrashError,
+    WorkerCrashFault,
+)
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.injector import FaultInjector, TransferPlan
+from repro.resilience.recovery import RecoveryEvent, RecoveryPolicy
+from repro.resilience.chaos import ChaosReport, run_chaos
+
+__all__ = [
+    "FaultSchedule",
+    "StragglerFault",
+    "LinkDegradationFault",
+    "MessageLossFault",
+    "WorkerCrashFault",
+    "WorkerCrashError",
+    "RetryPolicy",
+    "FaultInjector",
+    "TransferPlan",
+    "RecoveryPolicy",
+    "RecoveryEvent",
+    "ChaosReport",
+    "run_chaos",
+]

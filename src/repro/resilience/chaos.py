@@ -1,0 +1,172 @@
+"""The chaos harness: run an engine under a fault schedule, report damage.
+
+:func:`run_chaos` runs the same workload twice -- once on the healthy
+cluster, once with the fault schedule injected -- and reports the
+degradation ratio, retry traffic, idle (stall) time, and any
+checkpoint-rollback recoveries.  Two modes:
+
+- ``timing`` (default): per-epoch cost via ``charge_epoch`` -- fast,
+  no numerics; crashes still trigger the recovery path, with the lost
+  epochs since the last checkpoint replayed.
+- ``train``: full :class:`~repro.training.resilient.ResilientTrainer`
+  run with real loss numerics; crashes roll model + optimizer back to
+  the last checkpoint.
+
+The harness backs the ``repro chaos`` CLI subcommand and
+``benchmarks/bench_chaos_resilience.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.timeline import IDLE
+from repro.comm.scheduler import CommOptions
+from repro.resilience.faults import FaultSchedule, WorkerCrashError
+from repro.resilience.recovery import RecoveryEvent, RecoveryPolicy
+from repro.resilience.retry import RetryPolicy
+
+MODES = ("timing", "train")
+
+
+@dataclass
+class ChaosReport:
+    """What one chaos run did to one engine."""
+
+    engine: str
+    mode: str
+    epochs: int
+    clean_epoch_s: float
+    makespan_s: float
+    retries: int
+    retry_wait_s: float
+    idle_s: float
+    recoveries: List[RecoveryEvent] = field(default_factory=list)
+    final_loss: float = float("nan")
+
+    @property
+    def faulty_epoch_s(self) -> float:
+        """Average modeled seconds per *useful* epoch, overheads included."""
+        return self.makespan_s / self.epochs if self.epochs else 0.0
+
+    @property
+    def degradation(self) -> float:
+        """How many times slower the faulty run is per epoch (>= ~1)."""
+        if self.clean_epoch_s <= 0:
+            return float("nan")
+        return self.faulty_epoch_s / self.clean_epoch_s
+
+    @property
+    def total_recovery_s(self) -> float:
+        return sum(e.recovery_s for e in self.recoveries)
+
+    @property
+    def idle_fraction(self) -> float:
+        """Share of total worker-seconds spent stalled (waiting)."""
+        denom = self.makespan_s
+        if denom <= 0:
+            return 0.0
+        return self.idle_s / denom
+
+
+def run_chaos(
+    engine_name: str,
+    graph,
+    model_factory: Callable[[], object],
+    cluster: ClusterSpec,
+    schedule: FaultSchedule,
+    epochs: int = 5,
+    comm: CommOptions = CommOptions.all(),
+    retry: Optional[RetryPolicy] = None,
+    policy: Optional[RecoveryPolicy] = None,
+    mode: str = "timing",
+    optimizer: str = "adam",
+    lr: float = 0.01,
+    **engine_kwargs,
+) -> ChaosReport:
+    """Run ``epochs`` epochs of ``engine_name`` under ``schedule``.
+
+    ``model_factory`` must return a *fresh* model per call (the clean
+    baseline and the faulty run each get one, so the comparison starts
+    from identical weights).  The ``schedule`` is consumed by the faulty
+    run -- its crash bookkeeping mutates -- so pass a fresh one per call.
+    """
+    # Engines sit *above* resilience in the layering; import lazily.
+    from repro.engines import make_engine
+
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    if epochs < 1:
+        raise ValueError("epochs must be positive")
+    policy = policy or RecoveryPolicy()
+
+    clean_engine = make_engine(
+        engine_name, graph, model_factory(), cluster.healthy(),
+        comm=comm, **engine_kwargs,
+    )
+    clean_epoch_s = clean_engine.charge_epoch()
+
+    faulty_cluster = cluster.with_faults(schedule)
+    engine = make_engine(
+        engine_name, graph, model_factory(), faulty_cluster,
+        comm=comm, retry=retry, **engine_kwargs,
+    )
+
+    recoveries: List[RecoveryEvent] = []
+    final_loss = float("nan")
+    if mode == "timing":
+        completed = 0
+        last_checkpoint = 0
+        while completed < epochs:
+            try:
+                engine.charge_epoch()
+            except WorkerCrashError as crash:
+                if len(recoveries) >= policy.max_recoveries:
+                    raise
+                recovery_s, refetch = engine.recover_from_crash(
+                    crash, provision_s=policy.provision_s
+                )
+                recoveries.append(
+                    RecoveryEvent(
+                        epoch=completed + 1,
+                        worker=crash.fault.worker,
+                        detected_at_s=crash.detected_at_s,
+                        recovery_s=recovery_s,
+                        refetch_bytes=refetch,
+                        rolled_back_to_epoch=last_checkpoint,
+                    )
+                )
+                engine.rollback_to_epoch(last_checkpoint)
+                completed = last_checkpoint
+                continue
+            completed += 1
+            if completed % policy.checkpoint_every == 0:
+                last_checkpoint = completed
+    else:
+        from repro.training.resilient import ResilientTrainer
+
+        trainer = ResilientTrainer(
+            engine, policy=policy, optimizer=optimizer, lr=lr
+        )
+        history = trainer.train(epochs)
+        recoveries = trainer.recoveries
+        final_loss = history.final_loss
+
+    timeline = engine.timeline
+    injector = engine.faults
+    return ChaosReport(
+        engine=engine_name,
+        mode=mode,
+        epochs=epochs,
+        clean_epoch_s=clean_epoch_s,
+        makespan_s=timeline.makespan,
+        retries=injector.total_retries if injector is not None else 0,
+        retry_wait_s=(
+            injector.total_retry_s if injector is not None else 0.0
+        ),
+        idle_s=float(timeline.totals[IDLE].mean()),
+        recoveries=recoveries,
+        final_loss=final_loss,
+    )

@@ -1,0 +1,58 @@
+"""Recovery policy data types (used by :mod:`repro.training.resilient`).
+
+Recovery follows the classic checkpoint/rollback-restart discipline:
+every ``checkpoint_every`` epochs the trainer snapshots model *and*
+optimizer state; when a barrier detects a crash, a replacement node is
+provisioned (``provision_s``), the engine re-transfers the worker's
+partition data plus its engine-specific dependency state -- DepCache
+must rebuild its large replicated closures, DepComm only re-registers
+mirrors -- and training replays from the last checkpoint.  Because the
+optimizer state is checkpointed too, the replayed trajectory is
+bit-identical to the uninterrupted one; only the modeled clock differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the trainer checkpoints and reacts to crashes.
+
+    Attributes
+    ----------
+    checkpoint_every:
+        Snapshot model + optimizer state every this many epochs (the
+        initial state counts as epoch-0 checkpoint).
+    provision_s:
+        Modeled wall seconds to provision a replacement worker (VM
+        spin-up, process start) before state re-transfer begins.
+    max_recoveries:
+        Abort (re-raise) after this many recoveries in one run, so a
+        pathological schedule cannot loop forever.
+    """
+
+    checkpoint_every: int = 5
+    provision_s: float = 0.05
+    max_recoveries: int = 8
+
+    def __post_init__(self):
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.provision_s < 0:
+            raise ValueError("provision_s must be >= 0")
+        if self.max_recoveries < 0:
+            raise ValueError("max_recoveries must be >= 0")
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One crash-and-recover episode, as the chaos report shows it."""
+
+    epoch: int  # epoch that was executing when the crash was detected
+    worker: int
+    detected_at_s: float  # synchronised clock when the detector fired
+    recovery_s: float  # provision + state re-transfer + replan
+    refetch_bytes: int  # dependency state moved to the replacement
+    rolled_back_to_epoch: int  # training resumes after this epoch

@@ -1,0 +1,55 @@
+"""Retry/timeout/backoff semantics for the exchange scheduler.
+
+When a :class:`~repro.resilience.faults.MessageLossFault` drops a chunk
+send, the sender notices after ``timeout_s`` (no ACK), backs off
+exponentially, and re-sends.  The whole sequence -- wasted wire time for
+the dropped copy, the timeout, the backoff, the retransmission -- is
+charged to the timeline, so Fig-13-style utilization traces show the
+stall instead of silently losing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retransmission parameters.
+
+    Attributes
+    ----------
+    timeout_s:
+        How long the sender waits for an ACK before declaring a chunk
+        lost.
+    backoff_base_s:
+        Sleep before the first retransmission; doubles (by
+        ``backoff_factor``) on every further attempt.
+    backoff_factor:
+        Multiplier applied to the backoff per retry.
+    max_retries:
+        Retransmissions after the first attempt.  The final attempt is
+        modeled as delivered (a reliable-fallback path), so a transfer
+        never hangs forever; the pain is the accumulated waiting.
+    """
+
+    timeout_s: float = 5.0e-4
+    backoff_base_s: float = 1.0e-4
+    backoff_factor: float = 2.0
+    max_retries: int = 5
+
+    def __post_init__(self):
+        if self.timeout_s < 0 or self.backoff_base_s < 0:
+            raise ValueError("timeout and backoff must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff slept before retransmission number ``attempt + 1``."""
+        return self.backoff_base_s * self.backoff_factor**attempt
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1

@@ -99,7 +99,10 @@ class Module:
                     f"shape mismatch for {name}: "
                     f"{p.data.shape} vs {state[name].shape}"
                 )
-            p.data = state[name].astype(p.data.dtype).copy()
+            # Keep the stored dtype: a resumed trajectory must be
+            # bit-identical to the uninterrupted one, and training can
+            # legitimately widen parameters (e.g. float64 Adam updates).
+            p.data = np.asarray(state[name]).copy()
 
 
 class Linear(Module):

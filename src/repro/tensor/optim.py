@@ -1,8 +1,15 @@
-"""Optimisers: SGD (with momentum / weight decay) and Adam."""
+"""Optimisers: SGD (with momentum / weight decay) and Adam.
+
+Both optimisers expose ``state_dict``/``load_state_dict`` so a
+checkpoint can round-trip the *full* training state (Adam moments, step
+count, SGD velocity): resume-from-checkpoint then reproduces the exact
+parameter trajectory of an uninterrupted run, which the rollback-restart
+recovery path (:mod:`repro.training.resilient`) relies on.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -11,6 +18,8 @@ from repro.tensor.tensor import Tensor
 
 class Optimizer:
     """Base optimiser holding a parameter list."""
+
+    state_kind = "base"
 
     def __init__(self, params: Iterable[Tensor]):
         self.params: List[Tensor] = list(params)
@@ -27,9 +36,35 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Serialisable optimiser state (arrays + scalars, copied)."""
+        return {"kind": self.state_kind, "arrays": {}, "scalars": {}}
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        if state.get("kind") != self.state_kind:
+            raise ValueError(
+                f"optimizer state kind mismatch: checkpoint has "
+                f"{state.get('kind')!r}, optimizer is {self.state_kind!r}"
+            )
+
+    def _check_array(self, name: str, value: np.ndarray, index: int) -> np.ndarray:
+        expected = self.params[index].data.shape
+        if value.shape != expected:
+            raise ValueError(
+                f"optimizer state {name!r} has shape {value.shape}, "
+                f"parameter {index} expects {expected}"
+            )
+        # Keep the stored dtype: the restored trajectory must be
+        # bit-identical to the uninterrupted one.
+        return np.asarray(value).copy()
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
+
+    state_kind = "sgd"
 
     def __init__(
         self,
@@ -62,9 +97,36 @@ class SGD(Optimizer):
                 grad = self._velocity[i]
             p.data = p.data - self.lr * grad
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        arrays = {
+            f"velocity_{i}": v.copy()
+            for i, v in enumerate(self._velocity)
+            if v is not None
+        }
+        return {"kind": self.state_kind, "arrays": arrays, "scalars": {}}
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        arrays = state.get("arrays", {})
+        velocity: List[Optional[np.ndarray]] = [None] * len(self.params)
+        for name, value in arrays.items():
+            if not name.startswith("velocity_"):
+                raise ValueError(f"unexpected SGD state entry {name!r}")
+            index = int(name[len("velocity_"):])
+            if not 0 <= index < len(self.params):
+                raise ValueError(
+                    f"SGD state {name!r} is out of range for "
+                    f"{len(self.params)} parameters"
+                )
+            velocity[index] = self._check_array(name, value, index)
+        self._velocity = velocity
+
 
 class Adam(Optimizer):
     """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    state_kind = "adam"
 
     def __init__(
         self,
@@ -105,3 +167,34 @@ class Adam(Optimizer):
             m_hat = self._m[i] / bias1
             v_hat = self._v[i] / bias2
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        arrays = {}
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            arrays[f"m_{i}"] = m.copy()
+            arrays[f"v_{i}"] = v.copy()
+        return {
+            "kind": self.state_kind,
+            "arrays": arrays,
+            "scalars": {"step_count": self._step_count},
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        arrays = state.get("arrays", {})
+        expected = {f"{tag}_{i}" for tag in ("m", "v") for i in range(len(self.params))}
+        if set(arrays) != expected:
+            raise ValueError(
+                f"Adam state mismatch: checkpoint has {sorted(arrays)}, "
+                f"optimizer expects {sorted(expected)}"
+            )
+        self._m = [
+            self._check_array(f"m_{i}", arrays[f"m_{i}"], i)
+            for i in range(len(self.params))
+        ]
+        self._v = [
+            self._check_array(f"v_{i}", arrays[f"v_{i}"], i)
+            for i in range(len(self.params))
+        ]
+        self._step_count = int(state.get("scalars", {}).get("step_count", 0))

@@ -1,6 +1,8 @@
 """Training loop, graph preparation, and convergence running."""
 
 from repro.training.prep import prepare_graph
+from repro.training.checkpoint import load_checkpoint, save_checkpoint
+from repro.training.resilient import ResilientTrainer
 from repro.training.trainer import (
     ConvergencePoint,
     DistributedTrainer,
@@ -11,7 +13,10 @@ from repro.training.trainer import (
 __all__ = [
     "prepare_graph",
     "DistributedTrainer",
+    "ResilientTrainer",
     "TrainingHistory",
     "ConvergencePoint",
     "EpochReport",
+    "save_checkpoint",
+    "load_checkpoint",
 ]

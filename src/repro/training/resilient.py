@@ -1,0 +1,186 @@
+"""Fault-tolerant training: checkpoints, crash handling, rollback-restart.
+
+:class:`ResilientTrainer` extends the distributed trainer with the
+recovery discipline described in :mod:`repro.resilience.recovery`:
+
+1. every ``checkpoint_every`` epochs it snapshots model **and**
+   optimizer state (in memory; optionally to ``.npz`` checkpoints);
+2. when a layer barrier detects a crashed worker (the engine raises
+   :class:`~repro.resilience.faults.WorkerCrashError`), it asks the
+   engine to charge the re-provisioning cost to the timeline --
+   DepCache pays to rebuild its replicated closures, DepComm only
+   re-fetches -- and rolls model + optimizer back to the last
+   checkpoint;
+3. the epochs since that checkpoint are replayed.  Because optimizer
+   state is checkpointed, the replayed trajectory is bit-identical to
+   an uninterrupted run; only the modeled clock shows the damage.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.resilience.faults import WorkerCrashError
+from repro.resilience.recovery import RecoveryEvent, RecoveryPolicy
+from repro.training.checkpoint import save_checkpoint
+from repro.training.trainer import (
+    ConvergencePoint,
+    DistributedTrainer,
+    TrainingHistory,
+)
+
+_Snapshot = Tuple[int, Dict[str, np.ndarray], dict]
+
+
+class ResilientTrainer(DistributedTrainer):
+    """A :class:`DistributedTrainer` that survives worker crashes.
+
+    Parameters
+    ----------
+    engine:
+        Any engine built on :class:`repro.engines.base.BaseEngine`.  A
+        fault schedule on its cluster makes crashes possible; without
+        one the trainer behaves exactly like its parent (plus periodic
+        snapshots).
+    policy:
+        Checkpoint cadence and recovery parameters.
+    checkpoint_dir:
+        Optional directory; when given, every snapshot is also written
+        as ``epoch_NNNN.npz`` (with optimizer state) via
+        :func:`repro.training.checkpoint.save_checkpoint`.
+    """
+
+    def __init__(
+        self,
+        engine,
+        policy: Optional[RecoveryPolicy] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        **kwargs,
+    ):
+        super().__init__(engine, **kwargs)
+        self.policy = policy or RecoveryPolicy()
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.recoveries: List[RecoveryEvent] = []
+
+    @property
+    def total_recovery_s(self) -> float:
+        return sum(e.recovery_s for e in self.recoveries)
+
+    # ------------------------------------------------------------------
+    def _snapshot(self, epoch: int) -> _Snapshot:
+        model_state = self.engine.model.state_dict()  # already copies
+        opt_state = self.optimizer.state_dict()
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+            save_checkpoint(
+                self.engine.model,
+                self.checkpoint_dir / f"epoch_{epoch:04d}",
+                optimizer=self.optimizer,
+                epoch=epoch,
+                engine=self.engine.name,
+            )
+        return epoch, model_state, opt_state
+
+    def _restore(self, snapshot: _Snapshot) -> int:
+        epoch, model_state, opt_state = snapshot
+        self.engine.model.load_state_dict(model_state)
+        self.optimizer.load_state_dict(opt_state)
+        self.optimizer.zero_grad()
+        self.engine.rollback_to_epoch(epoch)
+        return epoch
+
+    def _handle_crash(
+        self,
+        crash: WorkerCrashError,
+        epoch: int,
+        snapshot: _Snapshot,
+        history: TrainingHistory,
+    ) -> int:
+        """Recover, roll back, and return the epoch to resume from."""
+        if len(self.recoveries) >= self.policy.max_recoveries:
+            raise crash
+        recovery_s, refetch = self.engine.recover_from_crash(
+            crash, provision_s=self.policy.provision_s
+        )
+        ckpt_epoch = self._restore(snapshot)
+        # The epochs past the checkpoint will be replayed; drop their
+        # records so the history reflects one consistent trajectory.
+        del history.reports[ckpt_epoch:]
+        history.convergence = [
+            p for p in history.convergence if p.epoch <= ckpt_epoch
+        ]
+        self.recoveries.append(
+            RecoveryEvent(
+                epoch=epoch,
+                worker=crash.fault.worker,
+                detected_at_s=crash.detected_at_s,
+                recovery_s=recovery_s,
+                refetch_bytes=refetch,
+                rolled_back_to_epoch=ckpt_epoch,
+            )
+        )
+        return ckpt_epoch + 1
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        epochs: int,
+        eval_every: int = 0,
+        eval_mask=None,
+        target_accuracy: Optional[float] = None,
+        patience: Optional[int] = None,
+    ) -> TrainingHistory:
+        """Run ``epochs`` epochs, surviving scheduled worker crashes.
+
+        Semantics match :meth:`DistributedTrainer.train`; additionally
+        every crash episode is appended to :attr:`recoveries` and the
+        modeled recovery time is visible on the engine's timeline (the
+        convergence points' ``time_s`` axis includes it).
+        """
+        if epochs < 1:
+            raise ValueError("epochs must be positive")
+        if patience is not None and patience < 1:
+            raise ValueError("patience must be positive")
+        history = TrainingHistory(engine_name=self.engine.name)
+        timeline = self.engine.timeline
+        t_origin = timeline.makespan
+        snapshot = self._snapshot(0)
+        best_accuracy = -1.0
+        stale_evals = 0
+        epoch = 1
+        while epoch <= epochs:
+            try:
+                report = self.engine.run_epoch(optimizer=self.optimizer)
+                accuracy = None
+                if eval_every and (epoch % eval_every == 0 or epoch == epochs):
+                    accuracy = self.engine.evaluate(mask=eval_mask)
+            except WorkerCrashError as crash:
+                epoch = self._handle_crash(crash, epoch, snapshot, history)
+                continue
+            history.reports.append(report)
+            if accuracy is not None:
+                history.convergence.append(
+                    ConvergencePoint(
+                        epoch=epoch,
+                        time_s=timeline.makespan - t_origin,
+                        accuracy=accuracy,
+                        loss=report.loss,
+                    )
+                )
+                if target_accuracy is not None and accuracy >= target_accuracy:
+                    break
+                if patience is not None:
+                    if accuracy > best_accuracy + 1e-9:
+                        best_accuracy = accuracy
+                        stale_evals = 0
+                    else:
+                        stale_evals += 1
+                        if stale_evals >= patience:
+                            break
+            if epoch % self.policy.checkpoint_every == 0:
+                snapshot = self._snapshot(epoch)
+            epoch += 1
+        return history

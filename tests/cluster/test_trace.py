@@ -1,0 +1,75 @@
+"""Chrome-trace export of a Timeline."""
+
+import json
+
+from repro.cluster.timeline import CPU, GPU, IDLE, NET_RECV, Timeline
+from repro.cluster.trace import _COLORS, save_chrome_trace, timeline_to_chrome_trace
+
+
+def busy_timeline():
+    tl = Timeline(3)
+    tl.advance(0, GPU, 0.5)
+    tl.advance(1, CPU, 0.25)
+    tl.advance(2, NET_RECV, 0.125, num_bytes=4096)
+    tl.barrier()  # workers 1 and 2 get idle intervals
+    return tl
+
+
+class TestChromeTrace:
+    def test_event_counts(self):
+        tl = busy_timeline()
+        trace = timeline_to_chrome_trace(tl)
+        events = trace["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(meta) == tl.num_workers  # one thread_name row each
+        assert len(complete) == len(tl.intervals)
+        assert {e["args"]["name"] for e in meta} == {
+            "worker 0", "worker 1", "worker 2"
+        }
+
+    def test_microsecond_conversion(self):
+        tl = busy_timeline()
+        by_kind = {
+            e["name"]: e
+            for e in timeline_to_chrome_trace(tl)["traceEvents"]
+            if e["ph"] == "X"
+        }
+        gpu = by_kind["gpu"]
+        assert gpu["ts"] == 0.0
+        assert gpu["dur"] == 0.5 * 1e6
+        recv = by_kind["net_recv"]
+        assert recv["dur"] == 0.125 * 1e6
+        assert recv["args"]["bytes"] == 4096
+
+    def test_idle_intervals_exported(self):
+        tl = busy_timeline()
+        events = timeline_to_chrome_trace(tl)["traceEvents"]
+        idles = [e for e in events if e["name"] == IDLE]
+        assert len(idles) == 2  # workers 1 and 2 waited at the barrier
+        assert {e["tid"] for e in idles} == {1, 2}
+        assert all(e["cname"] == _COLORS["idle"] for e in idles)
+        # Worker 1 stalled from 0.25 until the barrier time 0.5.
+        w1 = next(e for e in idles if e["tid"] == 1)
+        assert w1["ts"] == 0.25 * 1e6
+        assert w1["dur"] == 0.25 * 1e6
+
+    def test_all_kinds_have_colors(self):
+        tl = busy_timeline()
+        for event in timeline_to_chrome_trace(tl)["traceEvents"]:
+            if event["ph"] == "X":
+                assert event["cname"] == _COLORS[event["name"]]
+
+    def test_save_appends_json_suffix(self, tmp_path):
+        tl = busy_timeline()
+        path = save_chrome_trace(tl, tmp_path / "trace")
+        assert path.suffix == ".json"
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert len(loaded["traceEvents"]) == tl.num_workers + len(tl.intervals)
+
+    def test_unrecorded_timeline_exports_metadata_only(self):
+        tl = Timeline(2, record=False)
+        tl.advance(0, GPU, 1.0)
+        events = timeline_to_chrome_trace(tl)["traceEvents"]
+        assert len(events) == 2  # only the thread_name rows

@@ -1,10 +1,13 @@
-"""Checkpoint save/load round trips."""
+"""Checkpoint save/load round trips (model and optimizer state)."""
 
 import numpy as np
 import pytest
 
 from repro.core.model import GNNModel
+from repro.engines import make_engine
+from repro.tensor.optim import SGD, Adam
 from repro.training.checkpoint import load_checkpoint, save_checkpoint
+from repro.training.trainer import DistributedTrainer
 
 
 class TestCheckpoint:
@@ -43,3 +46,112 @@ class TestCheckpoint:
         path = save_checkpoint(model, tmp_path / "m")
         meta = load_checkpoint(GNNModel.gin(4, 4, 2, seed=4), path)
         assert meta == {}
+
+
+def _take_steps(model, optimizer, steps=3, seed=0):
+    """Drive the optimizer with synthetic gradients to build up state."""
+    rng = np.random.default_rng(seed)
+    for _ in range(steps):
+        for p in model.parameters():
+            p.grad = rng.standard_normal(p.data.shape).astype(p.data.dtype)
+        optimizer.step()
+        optimizer.zero_grad()
+
+
+class TestOptimizerCheckpoint:
+    def test_adam_state_roundtrip(self, tmp_path):
+        model = GNNModel.gcn(8, 16, 3, seed=1)
+        opt = Adam(model.parameters(), lr=0.01)
+        _take_steps(model, opt)
+        path = save_checkpoint(model, tmp_path / "m", optimizer=opt, epoch=3)
+
+        model2 = GNNModel.gcn(8, 16, 3, seed=2)
+        opt2 = Adam(model2.parameters(), lr=0.01)
+        meta = load_checkpoint(model2, path, optimizer=opt2)
+        assert meta == {"epoch": 3}
+        assert opt2._step_count == opt._step_count
+        for m_a, m_b in zip(opt._m, opt2._m):
+            np.testing.assert_array_equal(m_a, m_b)
+        for v_a, v_b in zip(opt._v, opt2._v):
+            np.testing.assert_array_equal(v_a, v_b)
+
+    def test_sgd_momentum_roundtrip(self, tmp_path):
+        model = GNNModel.gcn(8, 16, 3, seed=1)
+        opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        _take_steps(model, opt)
+        path = save_checkpoint(model, tmp_path / "m", optimizer=opt)
+
+        model2 = GNNModel.gcn(8, 16, 3, seed=2)
+        opt2 = SGD(model2.parameters(), lr=0.1, momentum=0.9)
+        load_checkpoint(model2, path, optimizer=opt2)
+        for v_a, v_b in zip(opt._velocity, opt2._velocity):
+            if v_a is None:
+                assert v_b is None
+            else:
+                np.testing.assert_array_equal(v_a, v_b)
+
+    def test_optimizer_kind_mismatch_rejected(self, tmp_path):
+        model = GNNModel.gcn(8, 16, 3, seed=1)
+        opt = Adam(model.parameters())
+        _take_steps(model, opt)
+        path = save_checkpoint(model, tmp_path / "m", optimizer=opt)
+        sgd = SGD(GNNModel.gcn(8, 16, 3).parameters(), lr=0.1)
+        with pytest.raises(ValueError, match="kind mismatch"):
+            load_checkpoint(GNNModel.gcn(8, 16, 3), path, optimizer=sgd)
+
+    def test_resume_without_optimizer_state_rejected(self, tmp_path):
+        model = GNNModel.gcn(8, 16, 3, seed=1)
+        path = save_checkpoint(model, tmp_path / "m")  # model-only
+        opt = Adam(GNNModel.gcn(8, 16, 3).parameters())
+        with pytest.raises(ValueError, match="no optimizer state"):
+            load_checkpoint(GNNModel.gcn(8, 16, 3), path, optimizer=opt)
+
+    def test_model_only_load_ignores_optimizer_keys(self, tmp_path):
+        model = GNNModel.gcn(8, 16, 3, seed=1)
+        opt = Adam(model.parameters())
+        _take_steps(model, opt)
+        path = save_checkpoint(model, tmp_path / "m", optimizer=opt)
+        # Loading without an optimizer must not trip on __opt__/ keys.
+        model2 = GNNModel.gcn(8, 16, 3, seed=2)
+        load_checkpoint(model2, path)
+        for pa, pb in zip(model.parameters(), model2.parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+
+class TestResumeRegression:
+    def test_resumed_training_matches_uninterrupted(
+        self, small_graph, cluster2, tmp_path
+    ):
+        """Save at epoch 3, resume elsewhere, match the 6-epoch run."""
+
+        def fresh_engine(seed):
+            model = GNNModel.build(
+                "gcn", small_graph.feature_dim, 12,
+                small_graph.num_classes, seed=seed,
+            )
+            return make_engine("depcomm", small_graph, model, cluster2)
+
+        clean_engine = fresh_engine(seed=1)
+        clean = DistributedTrainer(clean_engine, lr=0.05)
+        clean.train(6)
+
+        first_engine = fresh_engine(seed=1)
+        first = DistributedTrainer(first_engine, lr=0.05)
+        first.train(3)
+        path = save_checkpoint(
+            first_engine.model, tmp_path / "mid",
+            optimizer=first.optimizer, epoch=3,
+        )
+
+        resumed_engine = fresh_engine(seed=99)  # different init weights
+        resumed = DistributedTrainer(resumed_engine, lr=0.05)
+        meta = load_checkpoint(
+            resumed_engine.model, path, optimizer=resumed.optimizer
+        )
+        assert meta["epoch"] == 3
+        resumed.train(3)
+
+        for got, want in zip(
+            resumed_engine.model.parameters(), clean_engine.model.parameters()
+        ):
+            np.testing.assert_array_equal(got.data, want.data)
