@@ -6,7 +6,7 @@ neighborhoods) while DepComm adds only one more exchange per layer, so
 the Hybrid/DepCache gap must widen with depth.
 """
 
-from common import epoch_time, fmt_time, is_oom, paper_row, print_table
+from common import fmt_time, is_oom, paper_row, print_table
 from repro.cluster.spec import ClusterSpec
 from repro.comm.scheduler import CommOptions
 from repro.core.model import GNNModel

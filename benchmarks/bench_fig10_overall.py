@@ -10,7 +10,15 @@ DepCache OOM for several cases; ROC does not support GAT; DistDGL has
 no distributed GIN.
 """
 
-from common import epoch_time, fmt_time, is_oom, paper_row, print_table
+from common import (
+    epoch_time,
+    fmt_time,
+    is_oom,
+    paper_row,
+    parse_json_flag,
+    print_table,
+    write_json,
+)
 from repro.cluster.spec import ClusterSpec
 from repro.comm.scheduler import CommOptions
 
@@ -108,4 +116,5 @@ def test_fig10_overall(benchmark):
 
 
 if __name__ == "__main__":
-    run_experiment()
+    json_path = parse_json_flag("Figure 10: overall system comparison")
+    write_json(json_path, run_experiment())

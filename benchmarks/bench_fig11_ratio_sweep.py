@@ -10,8 +10,6 @@ dependencies OOMs GAT on Orkut; Algorithm 4's automatic choice lands at
 or below the best forced ratio.
 """
 
-import numpy as np
-
 from common import build_engine, fmt_time, paper_row, print_table
 from repro.cluster.memory import OutOfMemoryError
 from repro.cluster.spec import ClusterSpec

@@ -15,8 +15,6 @@ The run uses a scaled-down Reddit (scale 0.5) and 4 workers so the real
 numerics finish in seconds.
 """
 
-import numpy as np
-
 from common import build_engine, paper_row, print_table
 from repro.cluster.spec import ClusterSpec
 from repro.comm.scheduler import CommOptions

@@ -6,10 +6,16 @@ reports and asserts the headline *shape* (who wins, by roughly what
 factor).  Each module is runnable directly (``python
 benchmarks/bench_fig10_overall.py``) and through
 ``pytest benchmarks/ --benchmark-only``.
+
+Modules that support it accept ``--json PATH`` when run directly and
+write their result dictionary to ``PATH`` (OOM entries serialise as
+the string ``"OOM"``, since JSON has no NaN).
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 from typing import Dict, Optional
 
 from repro.cluster.memory import OutOfMemoryError
@@ -84,3 +90,31 @@ def print_table(title: str, headers, rows) -> None:
 
 def paper_row(note: str) -> None:
     print(f"    (paper: {note})")
+
+
+def parse_json_flag(description: str) -> Optional[str]:
+    """Parse a benchmark module's ``--json PATH`` flag (None if absent)."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the result dictionary to PATH as JSON")
+    return parser.parse_args().json
+
+
+def _jsonable(value):
+    """JSON-ready copy of ``value``; NaN (our OOM marker) -> \"OOM\"."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, float) and value != value:
+        return "OOM"
+    return value
+
+
+def write_json(path: Optional[str], payload: Dict) -> None:
+    """Write ``payload`` to ``path`` (no-op when ``path`` is None)."""
+    if not path:
+        return
+    with open(path, "w") as fh:
+        json.dump(_jsonable(payload), fh, indent=2)
+    print(f"json written to {path}")

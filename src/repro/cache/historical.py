@@ -1,0 +1,193 @@
+"""Staleness-bounded historical embedding storage.
+
+A :class:`HistoricalEmbeddingCache` keeps, per layer, the last fetched
+copy of remote vertices' representations together with the epoch at
+which each entry was fetched.  An entry is *fresh* at epoch ``e`` while
+``e - stamp < tau``; expired entries are transparent (a lookup reports
+them missing), so callers fall back to an exact fetch -- the
+"refresh on expiry, exact value on miss" contract.
+
+``tau`` semantics:
+
+- ``tau = 0`` -- nothing is ever fresh: every epoch re-fetches, which
+  makes a cache-enabled run bit-identical to a cache-free one;
+- ``tau = 1`` -- an entry is fresh only in the epoch it was stored, so
+  steady-state traffic equals the uncached engine's (no amortization);
+- ``tau >= 2`` -- an entry stored at epoch ``e`` serves epochs
+  ``e .. e + tau - 1``, amortizing one fetch over ``tau`` epochs;
+- ``tau = inf`` -- fetch once, serve forever (DepCache-like volume).
+
+The cache is bounded either by an entry count or by bytes; past the
+bound the configured eviction policy (LRU by default, FIFO otherwise)
+drops entries to make room.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CacheCounters:
+    """Lifetime accounting of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0  # lookups that found an entry, but stale
+    stores: int = 0
+    evictions: int = 0
+    resident_bytes: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses + self.expirations
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _Entry:
+    row: np.ndarray
+    stamp: int
+    nbytes: int = field(init=False)
+
+    def __post_init__(self):
+        self.nbytes = int(self.row.nbytes)
+
+
+class HistoricalEmbeddingCache:
+    """Per-layer bounded-staleness store of remote representations.
+
+    Parameters
+    ----------
+    num_layers:
+        Layers ``1..num_layers`` each get their own id space (an entry
+        for layer ``l`` holds that vertex's ``h^{l-1}`` row).
+    tau:
+        Staleness bound in epochs (``float('inf')`` allowed).
+    capacity_entries / capacity_bytes:
+        Optional bounds across all layers; ``None`` means unbounded.
+    eviction:
+        ``"lru"`` (recency updated on every hit) or ``"fifo"``.
+    """
+
+    def __init__(
+        self,
+        num_layers: int,
+        tau: float,
+        capacity_entries: Optional[int] = None,
+        capacity_bytes: Optional[int] = None,
+        eviction: str = "lru",
+    ):
+        if num_layers < 1:
+            raise ValueError("num_layers must be positive")
+        if tau < 0:
+            raise ValueError("tau must be non-negative")
+        if eviction not in ("lru", "fifo"):
+            raise ValueError(f"eviction must be 'lru' or 'fifo', got {eviction!r}")
+        self.num_layers = num_layers
+        self.tau = tau
+        self.capacity_entries = capacity_entries
+        self.capacity_bytes = capacity_bytes
+        self.eviction = eviction
+        # Insertion/recency-ordered entries keyed (layer, vertex id).
+        self._entries: "OrderedDict[Tuple[int, int], _Entry]" = OrderedDict()
+        self.counters = CacheCounters()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def resident_bytes(self) -> int:
+        return self.counters.resident_bytes
+
+    def _check_layer(self, layer: int) -> None:
+        if not 1 <= layer <= self.num_layers:
+            raise ValueError(f"layer must be in 1..{self.num_layers}, got {layer}")
+
+    def _evict_for(self, incoming_bytes: int) -> None:
+        """Drop oldest/least-recent entries until the bounds admit one more."""
+        while self._entries and (
+            (
+                self.capacity_entries is not None
+                and len(self._entries) >= self.capacity_entries
+            )
+            or (
+                self.capacity_bytes is not None
+                and self.counters.resident_bytes + incoming_bytes
+                > self.capacity_bytes
+            )
+        ):
+            _, victim = self._entries.popitem(last=False)
+            self.counters.resident_bytes -= victim.nbytes
+            self.counters.evictions += 1
+
+    # ------------------------------------------------------------------
+    def store(self, layer: int, ids: np.ndarray, rows: np.ndarray, epoch: int) -> None:
+        """Insert/refresh ``rows`` (one per id) stamped with ``epoch``."""
+        self._check_layer(layer)
+        ids = np.asarray(ids, dtype=np.int64)
+        rows = np.asarray(rows)
+        if len(ids) != len(rows):
+            raise ValueError(f"{len(ids)} ids but {len(rows)} rows")
+        for u, row in zip(ids, rows):
+            key = (layer, int(u))
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.counters.resident_bytes -= old.nbytes
+            entry = _Entry(row=np.array(row, copy=True), stamp=int(epoch))
+            self._evict_for(entry.nbytes)
+            self._entries[key] = entry
+            self.counters.resident_bytes += entry.nbytes
+            self.counters.stores += 1
+
+    def lookup(
+        self, layer: int, ids: np.ndarray, epoch: int
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Fresh entries for ``ids`` at ``epoch``.
+
+        Returns ``(fresh_mask, rows)`` where ``rows`` has one row per
+        fresh id (``None`` when nothing is fresh).  Expired or missing
+        ids are the caller's responsibility to fetch exactly.
+        """
+        self._check_layer(layer)
+        ids = np.asarray(ids, dtype=np.int64)
+        fresh = np.zeros(len(ids), dtype=bool)
+        rows = []
+        for i, u in enumerate(ids):
+            key = (layer, int(u))
+            entry = self._entries.get(key)
+            if entry is None:
+                self.counters.misses += 1
+                continue
+            if not (epoch - entry.stamp < self.tau):
+                self.counters.expirations += 1
+                continue
+            fresh[i] = True
+            rows.append(entry.row)
+            self.counters.hits += 1
+            if self.eviction == "lru":
+                self._entries.move_to_end(key)
+        return fresh, (np.stack(rows) if rows else None)
+
+    def stamp_of(self, layer: int, vertex: int) -> Optional[int]:
+        entry = self._entries.get((layer, int(vertex)))
+        return None if entry is None else entry.stamp
+
+    def contains(self, layer: int, vertex: int) -> bool:
+        return (layer, int(vertex)) in self._entries
+
+    def invalidate(self) -> None:
+        """Drop every entry (e.g. after a crash re-provision)."""
+        self._entries.clear()
+        self.counters.resident_bytes = 0
+
+    def breakdown(self) -> Dict[int, int]:
+        """Entry count per layer."""
+        out: Dict[int, int] = {}
+        for layer, _ in self._entries:
+            out[layer] = out.get(layer, 0) + 1
+        return out

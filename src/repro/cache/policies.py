@@ -1,0 +1,155 @@
+"""Admission/eviction policies: which remote vertices deserve a cache slot.
+
+A policy ranks a worker's candidate remote dependencies best-first; the
+:class:`repro.cache.budget.CacheBudget` then admits a prefix of that
+ranking.  Three policies:
+
+- :class:`StaticDegreeTopK` -- global degree as a static popularity
+  proxy (hot vertices are consumed by many partitions every epoch);
+- :class:`LRUPolicy` -- no static preference (admit in arrival order)
+  and recency-based runtime eviction, for workloads whose access set
+  drifts;
+- :class:`ExpectationPolicy` -- ranks by the *expected* per-epoch access
+  frequency derived from the partition's boundary structure, after
+  Kaler et al.'s probabilistic neighborhood expansion analysis: under
+  fanout-``f`` neighborhood expansion a boundary vertex ``u`` is
+  touched with probability ``1 - prod_{v in consumers(u)}
+  (1 - min(1, f / deg_in(v)))``, so vertices feeding many local
+  consumers through sparse in-neighborhoods rank highest.  With
+  full-batch training (``fanout=None``) the expectation degenerates to
+  the exact per-epoch access count, i.e. the number of local consumers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.partition.base import Partitioning
+
+
+class AdmissionPolicy:
+    """Ranks one worker's cache candidates best-first."""
+
+    name = "base"
+    runtime_eviction = "fifo"  # how the runtime cache evicts past capacity
+
+    def __init__(self, graph: Graph, partitioning: Partitioning, worker: int):
+        self.graph = graph
+        self.partitioning = partitioning
+        self.worker = worker
+
+    def scores(self, candidates: np.ndarray, layer: int) -> np.ndarray:
+        """Higher = more cache-worthy; same length as ``candidates``."""
+        raise NotImplementedError
+
+    def rank(self, candidates: np.ndarray, layer: int) -> np.ndarray:
+        """``candidates`` reordered best-first (stable, deterministic)."""
+        candidates = np.asarray(candidates, dtype=np.int64)
+        if len(candidates) == 0:
+            return candidates
+        scores = np.asarray(self.scores(candidates, layer), dtype=np.float64)
+        # Stable sort on (-score, id) keeps ties deterministic.
+        order = np.lexsort((candidates, -scores))
+        return candidates[order]
+
+
+class StaticDegreeTopK(AdmissionPolicy):
+    """Rank by global (in + out) degree: structural hotness."""
+
+    name = "degree"
+
+    def scores(self, candidates: np.ndarray, layer: int) -> np.ndarray:
+        n = self.graph.num_vertices
+        degree = np.bincount(self.graph.src, minlength=n) + np.bincount(
+            self.graph.dst, minlength=n
+        )
+        return degree[candidates].astype(np.float64)
+
+
+class LRUPolicy(AdmissionPolicy):
+    """Admit in arrival order; evict by recency at runtime."""
+
+    name = "lru"
+    runtime_eviction = "lru"
+
+    def scores(self, candidates: np.ndarray, layer: int) -> np.ndarray:
+        # No static preference: preserve the caller's order.
+        return np.arange(len(candidates), 0, -1, dtype=np.float64)
+
+    def rank(self, candidates: np.ndarray, layer: int) -> np.ndarray:
+        return np.asarray(candidates, dtype=np.int64)
+
+
+class ExpectationPolicy(AdmissionPolicy):
+    """Expected access frequency from the partition boundary structure."""
+
+    name = "expectation"
+
+    def __init__(
+        self,
+        graph: Graph,
+        partitioning: Partitioning,
+        worker: int,
+        fanout: Optional[int] = None,
+    ):
+        super().__init__(graph, partitioning, worker)
+        self.fanout = fanout
+
+    def scores(self, candidates: np.ndarray, layer: int) -> np.ndarray:
+        graph = self.graph
+        n = graph.num_vertices
+        owned_mask = self.partitioning.assignment == self.worker
+        # Boundary edges candidate -> owned consumer.
+        edge_sel = owned_mask[graph.dst]
+        src = graph.src[edge_sel]
+        dst = graph.dst[edge_sel]
+        if self.fanout is None:
+            # Full-batch: every boundary edge is exercised every epoch,
+            # so the expected access count is the local consumer count.
+            consumers = np.bincount(src, minlength=n)
+            return consumers[candidates].astype(np.float64)
+        in_degree = np.bincount(graph.dst, minlength=n).astype(np.float64)
+        # P(consumer v samples u) = min(1, fanout / deg_in(v)); the
+        # access probability of u is 1 - prod over its consumers of the
+        # complement.  Work in log space, accumulated per source vertex.
+        p_edge = np.minimum(1.0, self.fanout / np.maximum(in_degree[dst], 1.0))
+        log_miss = np.log1p(-np.minimum(p_edge, 1.0 - 1e-12))
+        acc = np.zeros(n)
+        np.add.at(acc, src, log_miss)
+        p_access = 1.0 - np.exp(acc)
+        # Zero-consumer vertices have acc == 0 -> p_access == 0: correct.
+        return p_access[candidates]
+
+
+_POLICIES: Dict[str, Type[AdmissionPolicy]] = {
+    StaticDegreeTopK.name: StaticDegreeTopK,
+    LRUPolicy.name: LRUPolicy,
+    ExpectationPolicy.name: ExpectationPolicy,
+}
+
+
+def get_policy(name: str) -> Type[AdmissionPolicy]:
+    """Look up a policy class by name (degree | lru | expectation)."""
+    try:
+        return _POLICIES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_POLICIES))
+        raise KeyError(f"unknown cache policy {name!r}; known: {known}") from None
+
+
+def make_policy(
+    config, graph: Graph, partitioning: Partitioning, worker: int
+) -> AdmissionPolicy:
+    """Instantiate ``config.policy`` for one worker.
+
+    ``config`` is any object with ``policy`` (and, for the expectation
+    policy, ``fanout``) attributes -- in practice a
+    :class:`repro.cache.budget.CacheConfig`.
+    """
+    cls = get_policy(config.policy)
+    if cls is ExpectationPolicy:
+        return cls(graph, partitioning, worker, fanout=config.fanout)
+    return cls(graph, partitioning, worker)

@@ -1,0 +1,178 @@
+"""The tau/capacity sweep harness behind ``repro cache-sweep``.
+
+One sweep trains the same model once per grid point -- every
+combination of staleness bound ``tau`` and cache-capacity cap -- plus
+one cache-free baseline, and reports each point's per-epoch
+communication volume, accuracy, and cache behaviour against that
+baseline.  Real numerics (losses and accuracies are exact), modeled
+time (epoch seconds come off the simulated cluster's timeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.cache.budget import CacheConfig
+from repro.cluster.spec import ClusterSpec
+from repro.engines import make_engine
+from repro.training.trainer import DistributedTrainer, TrainingHistory
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (tau, capacity) grid point's outcome."""
+
+    tau: float
+    capacity_bytes: Optional[int]
+    avg_comm_bytes: float  # forward bytes actually moved, per epoch
+    comm_reduction: float  # 1 - avg_comm_bytes / baseline
+    accuracy: float
+    accuracy_delta: float  # accuracy - baseline accuracy
+    avg_epoch_s: float
+    speedup: float  # baseline epoch seconds / this point's
+    cache_hits: int
+    cache_misses: int
+    saved_bytes: int
+    refresh_bytes: int
+    forced_refreshes: int
+
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+@dataclass
+class SweepResult:
+    """A full sweep: the cache-free baseline plus every grid point."""
+
+    engine_name: str
+    epochs: int
+    baseline_comm_bytes: float
+    baseline_accuracy: float
+    baseline_epoch_s: float
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def best(self, accuracy_tolerance: float = 0.01) -> Optional[SweepPoint]:
+        """Largest comm reduction whose accuracy stays within tolerance."""
+        eligible = [
+            p for p in self.points if p.accuracy_delta >= -accuracy_tolerance
+        ]
+        if not eligible:
+            return None
+        return max(eligible, key=lambda p: p.comm_reduction)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (for ``--json`` output)."""
+        return {
+            "engine": self.engine_name,
+            "epochs": self.epochs,
+            "baseline": {
+                "comm_bytes_per_epoch": self.baseline_comm_bytes,
+                "accuracy": self.baseline_accuracy,
+                "epoch_s": self.baseline_epoch_s,
+            },
+            "points": [
+                {
+                    "tau": p.tau,
+                    "capacity_bytes": p.capacity_bytes,
+                    "comm_bytes_per_epoch": p.avg_comm_bytes,
+                    "comm_reduction": p.comm_reduction,
+                    "accuracy": p.accuracy,
+                    "accuracy_delta": p.accuracy_delta,
+                    "epoch_s": p.avg_epoch_s,
+                    "speedup": p.speedup,
+                    "hit_rate": p.hit_rate(),
+                    "saved_bytes": p.saved_bytes,
+                    "refresh_bytes": p.refresh_bytes,
+                    "forced_refreshes": p.forced_refreshes,
+                }
+                for p in self.points
+            ],
+        }
+
+
+def _train_once(
+    graph,
+    model_factory: Callable[[], object],
+    cluster: ClusterSpec,
+    engine_name: str,
+    cache: Optional[CacheConfig],
+    epochs: int,
+    lr: float,
+):
+    engine = make_engine(
+        engine_name, graph, model_factory(), cluster, cache_config=cache
+    )
+    trainer = DistributedTrainer(engine, lr=lr)
+    history: TrainingHistory = trainer.train(epochs)
+    accuracy = engine.evaluate()
+    return history, accuracy
+
+
+def run_cache_sweep(
+    graph,
+    model_factory: Callable[[], object],
+    cluster: ClusterSpec,
+    taus: Sequence[float] = (0.0, 2.0, 4.0, 8.0),
+    capacities: Sequence[Optional[int]] = (None,),
+    epochs: int = 20,
+    engine_name: str = "depcomm",
+    policy: str = "expectation",
+    lr: float = 0.01,
+    refresh_on_regression: bool = True,
+) -> SweepResult:
+    """Train the (tau, capacity) grid and compare against no cache.
+
+    ``model_factory`` must return a *fresh* identically-seeded model on
+    every call so each grid point trains from the same initialisation.
+    ``capacities`` entries are byte caps (``None`` = unbounded).
+    """
+    base_history, base_accuracy = _train_once(
+        graph, model_factory, cluster, engine_name, None, epochs, lr
+    )
+    base_comm = (
+        sum(r.comm_bytes for r in base_history.reports) / len(base_history.reports)
+    )
+    base_epoch_s = base_history.avg_epoch_time_s
+    result = SweepResult(
+        engine_name=engine_name,
+        epochs=epochs,
+        baseline_comm_bytes=base_comm,
+        baseline_accuracy=base_accuracy,
+        baseline_epoch_s=base_epoch_s,
+    )
+    for capacity in capacities:
+        for tau in taus:
+            cache = CacheConfig(
+                tau=tau,
+                policy=policy,
+                capacity_bytes=capacity,
+                refresh_on_regression=refresh_on_regression,
+            )
+            history, accuracy = _train_once(
+                graph, model_factory, cluster, engine_name, cache, epochs, lr
+            )
+            reports = history.reports
+            avg_comm = sum(r.comm_bytes for r in reports) / len(reports)
+            avg_epoch = history.avg_epoch_time_s
+            result.points.append(
+                SweepPoint(
+                    tau=tau,
+                    capacity_bytes=capacity,
+                    avg_comm_bytes=avg_comm,
+                    comm_reduction=(
+                        1.0 - avg_comm / base_comm if base_comm else 0.0
+                    ),
+                    accuracy=accuracy,
+                    accuracy_delta=accuracy - base_accuracy,
+                    avg_epoch_s=avg_epoch,
+                    speedup=base_epoch_s / avg_epoch if avg_epoch else 1.0,
+                    cache_hits=sum(r.cache_hits for r in reports),
+                    cache_misses=sum(r.cache_misses for r in reports),
+                    saved_bytes=sum(r.comm_saved_bytes for r in reports),
+                    refresh_bytes=sum(r.refresh_bytes for r in reports),
+                    forced_refreshes=history.forced_refreshes,
+                )
+            )
+    return result

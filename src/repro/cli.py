@@ -21,6 +21,10 @@ Commands
     Inject faults (stragglers, link degradation, message loss, worker
     crashes) and compare how each engine degrades; crashes are
     recovered by checkpoint rollback-restart.
+``cache-sweep``
+    Sweep the staleness bound tau (and optionally the cache capacity)
+    of the historical-embedding cache, reporting per-epoch
+    communication volume and accuracy against a cache-free baseline.
 """
 
 from __future__ import annotations
@@ -70,6 +74,23 @@ def _add_model_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _cache_config(args):
+    """Build a CacheConfig from the shared cache flags (None = no cache)."""
+    tau = getattr(args, "tau", None)
+    if tau is None:
+        return None
+    from repro.cache import CacheConfig
+
+    capacity_mb = getattr(args, "cache_mb", None)
+    return CacheConfig(
+        tau=float("inf") if tau == "inf" else float(tau),
+        policy=getattr(args, "cache_policy", "expectation"),
+        capacity_bytes=(
+            int(capacity_mb * 1024 * 1024) if capacity_mb is not None else None
+        ),
+    )
+
+
 def _build(args, engine_name: str, comm: CommOptions = CommOptions.all()):
     graph = prepare_graph(load_dataset(args.dataset, scale=args.scale), args.arch)
     spec = spec_of(args.dataset)
@@ -77,7 +98,10 @@ def _build(args, engine_name: str, comm: CommOptions = CommOptions.all()):
         args.arch, graph.feature_dim, args.hidden or spec.hidden_dim,
         graph.num_classes, num_layers=args.layers, seed=args.seed,
     )
-    engine = make_engine(engine_name, graph, model, _cluster(args), comm=comm)
+    engine = make_engine(
+        engine_name, graph, model, _cluster(args), comm=comm,
+        cache_config=_cache_config(args),
+    )
     return graph, model, engine
 
 
@@ -127,7 +151,7 @@ def cmd_train(args) -> int:
         return 1
     if hasattr(plan, "cache_ratio"):
         print(f"plan: {plan.cache_ratio() * 100:.0f}% of remote "
-              f"dependencies cached")
+              "dependencies cached")
     trainer = DistributedTrainer(engine, lr=args.lr)
     history = trainer.train(epochs=args.epochs, eval_every=args.eval_every)
     rows = [
@@ -138,6 +162,14 @@ def cmd_train(args) -> int:
     print(render_table(["epoch", "loss", "accuracy", "cluster time"], rows))
     print(f"best accuracy {history.best_accuracy() * 100:.2f}%, "
           f"avg epoch {history.avg_epoch_time_s * 1e3:.2f} ms")
+    if getattr(engine, "cache_config", None) is not None:
+        hits = sum(r.cache_hits for r in history.reports)
+        misses = sum(r.cache_misses for r in history.reports)
+        saved = sum(r.comm_saved_bytes for r in history.reports)
+        rate = hits / (hits + misses) if hits + misses else 0.0
+        print(f"cache: {rate * 100:.0f}% hit rate, "
+              f"{saved / 1e6:.2f} MB comm saved, "
+              f"{history.forced_refreshes} forced refreshes")
     if args.checkpoint:
         path = save_checkpoint(
             model, args.checkpoint,
@@ -303,6 +335,76 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_cache_sweep(args) -> int:
+    import json
+
+    from repro.cache.sweep import run_cache_sweep
+
+    graph = prepare_graph(load_dataset(args.dataset, scale=args.scale), args.arch)
+    spec = spec_of(args.dataset)
+
+    def model_factory():
+        return GNNModel.build(
+            args.arch, graph.feature_dim, args.hidden or spec.hidden_dim,
+            graph.num_classes, num_layers=args.layers, seed=args.seed,
+        )
+
+    taus = [
+        float("inf") if t.strip() == "inf" else float(t)
+        for t in args.taus.split(",")
+    ]
+    capacities = (
+        [int(float(c) * 1024 * 1024) for c in args.capacity_mb.split(",")]
+        if args.capacity_mb else [None]
+    )
+    try:
+        result = run_cache_sweep(
+            graph, model_factory, _cluster(args),
+            taus=taus, capacities=capacities, epochs=args.epochs,
+            engine_name=args.engine, policy=args.cache_policy, lr=args.lr,
+        )
+    except OutOfMemoryError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    print(f"baseline ({args.engine}, no cache): "
+          f"{result.baseline_comm_bytes / 1e3:.1f} KB/epoch, "
+          f"accuracy {result.baseline_accuracy * 100:.2f}%, "
+          f"epoch {result.baseline_epoch_s * 1e3:.2f} ms")
+    rows = []
+    for p in result.points:
+        capacity = (
+            "-" if p.capacity_bytes is None
+            else f"{p.capacity_bytes / 1024 / 1024:g}MB"
+        )
+        rows.append([
+            "inf" if p.tau == float("inf") else f"{p.tau:g}",
+            capacity,
+            f"{p.avg_comm_bytes / 1e3:.1f}",
+            f"{p.comm_reduction * 100:.1f}%",
+            f"{p.accuracy * 100:.2f}%",
+            f"{p.accuracy_delta * 100:+.2f}%",
+            f"{p.hit_rate() * 100:.0f}%",
+            f"{p.speedup:.2f}x",
+            str(p.forced_refreshes),
+        ])
+    print(render_table(
+        ["tau", "capacity", "KB/epoch", "comm saved", "accuracy",
+         "delta", "hit rate", "speedup", "forced"],
+        rows,
+    ))
+    best = result.best(accuracy_tolerance=args.accuracy_tolerance)
+    if best is not None:
+        print(f"best within {args.accuracy_tolerance * 100:.0f}% accuracy: "
+              f"tau={best.tau:g} saves {best.comm_reduction * 100:.1f}% comm")
+    else:
+        print("no point stayed within the accuracy tolerance")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"json written to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -327,6 +429,38 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--eval-every", type=int, default=5)
     train.add_argument("--checkpoint", default=None,
                        help="path to save the trained model (.npz)")
+    train.add_argument("--tau", default=None,
+                       help="staleness bound for the historical-embedding "
+                            "cache in epochs ('inf' allowed); omit for no "
+                            "cache")
+    train.add_argument("--cache-mb", type=float, default=None,
+                       help="cache capacity cap in MB (default unbounded)")
+    train.add_argument("--cache-policy", default="expectation",
+                       choices=["degree", "lru", "expectation"],
+                       help="cache admission policy (default expectation)")
+
+    sweep = sub.add_parser(
+        "cache-sweep",
+        help="sweep the staleness bound tau against a cache-free baseline",
+    )
+    _add_model_args(sweep)
+    _add_cluster_args(sweep)
+    sweep.add_argument("--engine", default="depcomm",
+                       choices=["depcomm", "hybrid"])
+    sweep.add_argument("--epochs", type=int, default=20)
+    sweep.add_argument("--lr", type=float, default=0.01)
+    sweep.add_argument("--taus", default="0,2,4,8",
+                       help="comma-separated staleness bounds ('inf' allowed)")
+    sweep.add_argument("--capacity-mb", default=None,
+                       help="comma-separated capacity caps in MB "
+                            "(default: unbounded only)")
+    sweep.add_argument("--cache-policy", default="expectation",
+                       choices=["degree", "lru", "expectation"])
+    sweep.add_argument("--accuracy-tolerance", type=float, default=0.01,
+                       help="accuracy drop tolerated when picking the best "
+                            "point (default 0.01)")
+    sweep.add_argument("--json", default=None,
+                       help="write the sweep result to this JSON file")
 
     compare = sub.add_parser(
         "compare", help="compare DepCache/DepComm/Hybrid epoch times"
@@ -377,6 +511,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "analyze": cmd_analyze,
     "chaos": cmd_chaos,
+    "cache-sweep": cmd_cache_sweep,
 }
 
 

@@ -47,6 +47,22 @@ class MemoryTracker:
     def peak_bytes(self) -> int:
         return self._peak
 
+    def fits(self, num_bytes: int) -> bool:
+        """Whether ``num_bytes`` more would stay within the budget."""
+        return self._used + int(num_bytes) <= self.budget_bytes
+
+    def try_allocate(self, num_bytes: int, label: str) -> bool:
+        """Like :meth:`allocate` but returns False instead of raising.
+
+        Budget-sharing consumers (the historical-embedding cache versus
+        DepCache closures) probe with this instead of catching
+        :class:`OutOfMemoryError` in a loop.
+        """
+        if not self.fits(num_bytes):
+            return False
+        self.allocate(num_bytes, label)
+        return True
+
     def allocate(self, num_bytes: int, label: str) -> None:
         """Reserve ``num_bytes``; raises :class:`OutOfMemoryError` if over."""
         num_bytes = int(num_bytes)

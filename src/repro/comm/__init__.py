@@ -11,13 +11,19 @@ Implements Section 4.3's three communication optimizations:
 
 from repro.comm.buffers import PositionIndexedBuffer, pack_by_destination
 from repro.comm.ring import ring_rounds, ring_partner
-from repro.comm.scheduler import CommOptions, ExchangeStats, run_exchange
+from repro.comm.scheduler import (
+    CacheTraffic,
+    CommOptions,
+    ExchangeStats,
+    run_exchange,
+)
 
 __all__ = [
     "PositionIndexedBuffer",
     "pack_by_destination",
     "ring_rounds",
     "ring_partner",
+    "CacheTraffic",
     "CommOptions",
     "ExchangeStats",
     "run_exchange",

@@ -56,6 +56,22 @@ class CommOptions:
         return "+".join(tags) if tags else "raw"
 
 
+@dataclass(frozen=True)
+class CacheTraffic:
+    """The staleness-bounded cached share of one exchange.
+
+    ``volumes[s, r]`` are the bytes the cached entries *would* cost to
+    fetch.  On a refresh step (``refresh=True``) they are added to the
+    exchange and reported as ``refresh_bytes``; otherwise the fetch is
+    skipped entirely -- the entries are served from the historical
+    cache -- and the volume is reported as ``saved_bytes``.
+    """
+
+    volumes: np.ndarray
+    refresh: bool
+    entries: int = 0
+
+
 @dataclass
 class ExchangeStats:
     """Per-phase accounting (seconds / bytes, per worker).
@@ -63,6 +79,12 @@ class ExchangeStats:
     ``send_s`` includes retransmitted copies when message-loss faults
     are active; ``retry_wait_s`` is the per-sender timeout + backoff
     stall, and ``retries`` counts retransmissions across the phase.
+
+    With a :class:`CacheTraffic` attached, ``cache_hits`` /
+    ``cache_misses`` count entries served stale / re-fetched this phase,
+    ``refresh_bytes`` is the re-fetched volume (already included in
+    ``total_bytes``), and ``saved_bytes`` the volume a cache-free
+    exchange would additionally have moved.
     """
 
     pack_s: np.ndarray
@@ -73,6 +95,10 @@ class ExchangeStats:
     total_bytes: int
     retry_wait_s: Optional[np.ndarray] = field(default=None)
     retries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    refresh_bytes: int = 0
+    saved_bytes: int = 0
 
     @property
     def makespan(self) -> float:
@@ -90,6 +116,7 @@ def run_exchange(
     bytes_per_message: float = 0.0,
     faults: Optional["FaultInjector"] = None,
     retry: Optional["RetryPolicy"] = None,
+    cache: Optional[CacheTraffic] = None,
 ) -> ExchangeStats:
     """Charge one exchange-and-compute superstep to the timeline.
 
@@ -120,12 +147,31 @@ def run_exchange(
     retry:
         Retransmission policy for lost chunks (only meaningful with
         ``faults``); ``None`` disables loss handling.
+    cache:
+        Optional :class:`CacheTraffic` for the staleness-bounded cached
+        share of this exchange: fetched (and charged) on refresh steps,
+        skipped otherwise.  ``None`` is the bit-identical cache-free
+        path.
     """
     m = timeline.num_workers
     volumes = np.asarray(volumes, dtype=np.float64)
     if volumes.shape != (m, m):
         raise ValueError(f"volumes must be {m}x{m}, got {volumes.shape}")
     off_diag = ~np.eye(m, dtype=bool)
+    cache_hits = cache_misses = refresh_bytes = saved_bytes = 0
+    if cache is not None:
+        cache_volumes = np.asarray(cache.volumes, dtype=np.float64)
+        if cache_volumes.shape != (m, m):
+            raise ValueError(
+                f"cache volumes must be {m}x{m}, got {cache_volumes.shape}"
+            )
+        if cache.refresh:
+            volumes = volumes + cache_volumes
+            refresh_bytes = int(cache_volumes[off_diag].sum())
+            cache_misses = cache.entries
+        else:
+            saved_bytes = int(cache_volumes[off_diag].sum())
+            cache_hits = cache.entries
     if chunk_compute is None:
         chunk_compute = np.zeros((m, m))
     if local_compute is None:
@@ -256,4 +302,8 @@ def run_exchange(
         total_bytes=int(volumes[off_diag].sum()),
         retry_wait_s=retry_wait,
         retries=retries,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        refresh_bytes=refresh_bytes,
+        saved_bytes=saved_bytes,
     )

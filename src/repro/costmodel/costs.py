@@ -9,6 +9,7 @@ per-vertex communication cost of layer ``l``.  Both are per-epoch
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List
 
@@ -71,6 +72,29 @@ class DependencyCostModel:
     def t_c(self, layer: int) -> float:
         """Eq. 2: communication cost of one dependency at ``layer``."""
         return self.constants.comm_cost(layer)
+
+    def t_cached(self, layer: int, tau: float) -> float:
+        """Amortized comm cost of a staleness-bounded cached dependency.
+
+        A cached entry is re-fetched once every ``tau`` epochs, so its
+        per-epoch cost is ``t_c(layer) / tau`` -- the communication-
+        amortizing third option between Eq. 1 and Eq. 2.  ``tau <= 1``
+        buys no amortization (the entry expires before it is ever served
+        stale), so the cost degenerates to the full ``t_c``;
+        ``tau = inf`` is a one-time fetch (zero steady-state cost).
+        """
+        if tau < 0:
+            raise ValueError(f"tau must be non-negative, got {tau}")
+        t_c = self.t_c(layer)
+        if tau <= 1:
+            return t_c
+        if math.isinf(tau):
+            return 0.0
+        return t_c / float(tau)
+
+    def cache_entry_bytes(self, layer: int) -> int:
+        """Resident bytes of one cached ``h^{l-1}`` row at ``layer``."""
+        return self.dims[layer - 1] * 4
 
     def t_r(self, u: int, layer: int) -> SubtreeMeasurement:
         """Eq. 1: redundant-computation cost of caching ``u`` at ``layer``.

@@ -7,21 +7,38 @@ its redundant-computation cost ``t_r`` (Eq. 1) and communication cost
 communicated.  The per-worker passes are independent (the paper runs
 them in parallel), and the whole partitioning runs once before training
 (Table 3's "Preprocessing" row).
+
+With a :class:`repro.cache.CacheConfig`, a third outcome joins the
+binary choice: dependencies that are neither worth replicating
+(``t_r >= t_c``) nor worth fetching every epoch become ``CACHED`` --
+served from a staleness-bounded historical-embedding cache and
+re-fetched every ``tau`` epochs, at amortized cost ``t_c / tau``
+(:meth:`DependencyCostModel.t_cached`).  CACHED is only ever chosen
+when it is *strictly* cheaper than DepComm (``tau >= 2``) and the
+admission policy's ranking fits the worker's remaining share of the
+memory budget ``S``, which replicated closures and cache entries
+draw from jointly.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
+from repro.cache.budget import CacheBudget, CacheConfig
+from repro.cache.policies import make_policy
+from repro.cluster.memory import MemoryTracker
 from repro.costmodel.costs import DependencyCostModel
 from repro.costmodel.probe import ProbeResult
 from repro.graph.graph import Graph
 from repro.graph.khop import dependency_layers
 from repro.partition.base import Partitioning
+
+#: MemoryTracker label for replicated (DepCache) closures.
+CLOSURE_MEMORY_LABEL = "depcache_closure"
 
 
 @dataclass
@@ -29,7 +46,8 @@ class DependencyPartition:
     """Algorithm 4's output for one worker.
 
     ``cached[l-1]`` / ``communicated[l-1]`` are the global vertex ids of
-    ``R_i^l`` / ``C_i^l`` for layers ``l = 1..L``.
+    ``R_i^l`` / ``C_i^l`` for layers ``l = 1..L``; ``stale_cached[l-1]``
+    is the CACHED set ``H_i^l`` (empty unless a cache config was given).
     """
 
     worker: int
@@ -38,17 +56,55 @@ class DependencyPartition:
     memory_bytes: int = 0
     modeled_seconds: float = 0.0  # modeled preprocessing time
     measured_evaluations: int = 0
+    stale_cached: List[np.ndarray] = field(default_factory=list)
+    cache_bytes: int = 0
+
+    def _total(self) -> int:
+        return (
+            sum(len(r) for r in self.cached)
+            + sum(len(c) for c in self.communicated)
+            + sum(len(h) for h in self.stale_cached)
+        )
 
     def cache_ratio(self) -> float:
-        total_cached = sum(len(r) for r in self.cached)
-        total = total_cached + sum(len(c) for c in self.communicated)
-        return total_cached / total if total else 1.0
+        total = self._total()
+        return sum(len(r) for r in self.cached) / total if total else 1.0
+
+    def stale_ratio(self) -> float:
+        total = self._total()
+        return sum(len(h) for h in self.stale_cached) / total if total else 0.0
 
 
 # Modeled cost of one subtree measurement during preprocessing: a BFS
 # visit is a few memory accesses per edge on the CPU.
 _SECONDS_PER_EDGE_VISIT = 4.0e-8
 _SECONDS_PER_EVALUATION = 1.5e-6
+
+
+def _select_stale_cached(
+    candidates: np.ndarray,
+    layer: int,
+    cost_model: DependencyCostModel,
+    cache: CacheConfig,
+    cache_budget: CacheBudget,
+    graph: Graph,
+    partitioning: Partitioning,
+    worker: int,
+) -> np.ndarray:
+    """Pick the CACHED subset of one layer's communicated candidates."""
+    if len(candidates) == 0 or not cache.strictly_amortizes():
+        return np.empty(0, dtype=np.int64)
+    # Strict-dominance gate: amortized fetch must beat per-epoch fetch.
+    if not cost_model.t_cached(layer, cache.tau) < cost_model.t_c(layer):
+        return np.empty(0, dtype=np.int64)
+    policy = make_policy(cache, graph, partitioning, worker)
+    entry_bytes = cost_model.cache_entry_bytes(layer)
+    taken: List[int] = []
+    for u in policy.rank(candidates, layer):
+        if not cache_budget.admit(entry_bytes):
+            break
+        taken.append(int(u))
+    return np.asarray(sorted(taken), dtype=np.int64)
 
 
 def partition_dependencies(
@@ -61,12 +117,15 @@ def partition_dependencies(
     mu: float = 0.8,
     force_cache_fraction: Optional[float] = None,
     rng: Optional[np.random.Generator] = None,
+    cache: Optional[CacheConfig] = None,
 ) -> DependencyPartition:
     """Run Algorithm 4 for one worker.
 
     ``force_cache_fraction`` bypasses the cost comparison and caches a
     fixed fraction of dependencies per layer (cheapest-first) -- the
-    knob Figure 11's ratio sweep turns.
+    knob Figure 11's ratio sweep turns.  ``cache`` enables the third
+    CACHED outcome (see module docstring); replicated closures and
+    cache entries share ``memory_limit_bytes``.
     """
     num_layers = len(dims) - 1
     owned = partitioning.part(worker)
@@ -77,7 +136,18 @@ def partition_dependencies(
     cost_model = DependencyCostModel(graph, dims, constants, owned_mask, mu=mu)
     cached: List[np.ndarray] = []
     communicated: List[np.ndarray] = []
-    memory_used = 0
+    stale_cached: List[np.ndarray] = []
+    # One shared budget S: closures and cache entries draw jointly.
+    # A zero budget still gets a (1-byte) tracker so every multi-byte
+    # allocation is refused, matching the pre-tracker int bookkeeping.
+    tracker = (
+        MemoryTracker(worker, max(1, memory_limit_bytes))
+        if memory_limit_bytes is not None
+        else None
+    )
+    cache_budget = (
+        CacheBudget.for_config(cache, tracker=tracker) if cache is not None else None
+    )
     modeled_seconds = 0.0
     evaluations = 0
     budget_exhausted = False
@@ -96,60 +166,75 @@ def partition_dependencies(
         layer_deps = deps[l - 1]
         if budget_exhausted or len(layer_deps) == 0:
             cached.append(np.empty(0, dtype=np.int64))
-            communicated.append(layer_deps.copy())
-            continue
-        t_c = cost_model.t_c(l)
-        # Line 5-7: initial measurement of every dependency.
-        heap = []
-        for u in layer_deps:
-            measurement = cost_model.t_r(int(u), l)
-            evaluations += 1
-            modeled_seconds += (
-                _SECONDS_PER_EVALUATION
-                + measurement.new_edge_count * _SECONDS_PER_EDGE_VISIT
-            )
-            heapq.heappush(heap, (measurement.cost_s, int(u)))
+            layer_cached = []
+        else:
+            t_c = cost_model.t_c(l)
+            # Line 5-7: initial measurement of every dependency.
+            heap = []
+            for u in layer_deps:
+                measurement = cost_model.t_r(int(u), l)
+                evaluations += 1
+                modeled_seconds += (
+                    _SECONDS_PER_EVALUATION
+                    + measurement.new_edge_count * _SECONDS_PER_EDGE_VISIT
+                )
+                heapq.heappush(heap, (measurement.cost_s, int(u)))
 
-        layer_cached: List[int] = []
-        # Line 8-15: pop cheapest, re-measure, decide.
-        while heap:
-            _, u = heapq.heappop(heap)
-            measurement = cost_model.t_r(u, l)
-            evaluations += 1
-            modeled_seconds += (
-                _SECONDS_PER_EVALUATION
-                + measurement.new_edge_count * _SECONDS_PER_EDGE_VISIT
-            )
-            if quota_remaining is not None:
-                should_cache = quota_remaining > 0
-                if not should_cache:
-                    break  # global quota exhausted
-            else:
-                should_cache = measurement.cost_s < t_c
-                if not should_cache:
-                    # Costs only grow up the heap; nothing further caches.
+            layer_cached = []
+            # Line 8-15: pop cheapest, re-measure, decide.
+            while heap:
+                _, u = heapq.heappop(heap)
+                measurement = cost_model.t_r(u, l)
+                evaluations += 1
+                modeled_seconds += (
+                    _SECONDS_PER_EVALUATION
+                    + measurement.new_edge_count * _SECONDS_PER_EDGE_VISIT
+                )
+                if quota_remaining is not None:
+                    should_cache = quota_remaining > 0
+                    if not should_cache:
+                        break  # global quota exhausted
+                else:
+                    should_cache = measurement.cost_s < t_c
+                    if not should_cache:
+                        # Costs only grow up the heap; nothing further caches.
+                        break
+                if tracker is not None and not tracker.try_allocate(
+                    measurement.memory_bytes, CLOSURE_MEMORY_LABEL
+                ):
+                    budget_exhausted = True  # Line 14-15: stop immediately.
                     break
-            if (
-                memory_limit_bytes is not None
-                and memory_used + measurement.memory_bytes > memory_limit_bytes
-            ):
-                budget_exhausted = True  # Line 14-15: stop immediately.
-                break
-            layer_cached.append(u)
-            if quota_remaining is not None:
-                quota_remaining -= 1
-            memory_used += measurement.memory_bytes
-            cost_model.commit(u, l, measurement)
+                layer_cached.append(u)
+                if quota_remaining is not None:
+                    quota_remaining -= 1
+                cost_model.commit(u, l, measurement)
 
-        cached_arr = np.asarray(sorted(layer_cached), dtype=np.int64)
-        cached.append(cached_arr)
-        communicated.append(np.setdiff1d(layer_deps, cached_arr))
+            cached.append(np.asarray(sorted(layer_cached), dtype=np.int64))
+        remaining = np.setdiff1d(layer_deps, cached[-1])
+        if cache_budget is not None:
+            stale = _select_stale_cached(
+                remaining, l, cost_model, cache, cache_budget,
+                graph, partitioning, worker,
+            )
+        else:
+            stale = np.empty(0, dtype=np.int64)
+        stale_cached.append(stale)
+        communicated.append(np.setdiff1d(remaining, stale))
 
+    closure_bytes = 0
+    cache_bytes = 0
+    if tracker is not None:
+        breakdown = tracker.breakdown()
+        closure_bytes = breakdown.get(CLOSURE_MEMORY_LABEL, 0)
+    if cache_budget is not None:
+        cache_bytes = cache_budget.bytes
     return DependencyPartition(
         worker=worker,
         cached=cached,
         communicated=communicated,
-        memory_bytes=memory_used,
+        memory_bytes=closure_bytes,
         modeled_seconds=modeled_seconds,
         measured_evaluations=evaluations,
+        stale_cached=stale_cached,
+        cache_bytes=cache_bytes,
     )

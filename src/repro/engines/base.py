@@ -21,10 +21,13 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.cache.budget import CACHE_MEMORY_LABEL, CacheConfig
+from repro.cache.historical import HistoricalEmbeddingCache
+from repro.cache.policies import get_policy
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.memory import MemoryTracker
 from repro.cluster.timeline import CPU, GPU, IDLE, NET_RECV, NET_SEND, Timeline
-from repro.comm.scheduler import CommOptions, run_exchange
+from repro.comm.scheduler import CacheTraffic, CommOptions, ExchangeStats, run_exchange
 from repro.resilience.faults import WorkerCrashError, WorkerCrashFault
 from repro.resilience.injector import FaultInjector
 from repro.resilience.retry import RetryPolicy
@@ -48,7 +51,16 @@ BACKWARD_MULTIPLIER = 2.0
 
 @dataclass
 class EpochReport:
-    """What one training epoch produced (modeled time + real loss)."""
+    """What one training epoch produced (modeled time + real loss).
+
+    ``comm_bytes`` is the forward mirror-exchange volume actually moved
+    this epoch (refresh traffic included, cache-served traffic not).
+    The cache fields stay zero unless staleness-bounded caching is on:
+    ``cache_hits`` / ``cache_misses`` count entries served stale versus
+    (re-)fetched, ``refresh_bytes`` the re-fetch volume, and
+    ``comm_saved_bytes`` what a cache-free run would additionally have
+    sent.
+    """
 
     epoch: int
     epoch_time_s: float
@@ -57,6 +69,11 @@ class EpochReport:
     forward_time_s: float
     backward_time_s: float
     allreduce_time_s: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+    refresh_bytes: int = 0
+    comm_saved_bytes: int = 0
+    cache_refreshed: bool = False
 
 
 @dataclass
@@ -71,15 +88,30 @@ class EnginePlan:
     preprocessing_s: float = 0.0
     device_memory: List[MemoryTracker] = field(default_factory=list)
     host_memory: List[MemoryTracker] = field(default_factory=list)
+    # Staleness-bounded CACHED sets H_i^l and their refresh exchange
+    # (charged only on refresh epochs); empty without a cache config.
+    stale_deps: List[List[np.ndarray]] = field(default_factory=list)
+    refresh_exchanges: List[MirrorExchange] = field(default_factory=list)
 
     def total_comm_vertices(self) -> int:
         return sum(ex.total_vertices for ex in self.exchanges)
 
+    def total_stale_vertices(self) -> int:
+        return sum(ex.total_vertices for ex in self.refresh_exchanges)
+
     def cache_ratio(self) -> float:
         cached = sum(len(r) for per_l in self.cached_deps for r in per_l)
         comm = sum(len(c) for per_l in self.comm_ids for c in per_l)
-        total = cached + comm
+        stale = sum(len(h) for per_l in self.stale_deps for h in per_l)
+        total = cached + comm + stale
         return cached / total if total else 1.0
+
+    def stale_ratio(self) -> float:
+        cached = sum(len(r) for per_l in self.cached_deps for r in per_l)
+        comm = sum(len(c) for per_l in self.comm_ids for c in per_l)
+        stale = sum(len(h) for per_l in self.stale_deps for h in per_l)
+        total = cached + comm + stale
+        return stale / total if total else 0.0
 
 
 class BaseEngine:
@@ -125,10 +157,11 @@ class BaseEngine:
         memory_limit_bytes: Optional[int] = None,
         update_mode: str = "allreduce",
         retry: Optional[RetryPolicy] = None,
+        cache_config: Optional[CacheConfig] = None,
     ):
         if update_mode not in ("allreduce", "parameter-server"):
             raise ValueError(
-                f"update_mode must be 'allreduce' or 'parameter-server', "
+                "update_mode must be 'allreduce' or 'parameter-server', "
                 f"got {update_mode!r}"
             )
         if graph.features is None or graph.labels is None:
@@ -159,6 +192,16 @@ class BaseEngine:
         self.timeline: Timeline = cluster.make_timeline(record=record_timeline)
         self.mu = mu
         self.memory_limit_bytes = memory_limit_bytes
+        # Staleness-bounded caching (the third dependency mode).  With
+        # no config, every path below is bit-identical to the cache-free
+        # engine -- the same guarantee pattern the fault schedule gives.
+        self.cache_config = cache_config
+        self._hist_caches: Optional[List[HistoricalEmbeddingCache]] = None
+        self._last_refresh_epoch: Optional[int] = None
+        self._force_refresh = False
+        self._cache_refreshing = False
+        self._in_training_forward = False
+        self._forward_stats: List[ExchangeStats] = []
         self.assignment = self.partitioning.assignment
         self.dims = model.dims()
         self.num_layers = model.num_layers
@@ -181,6 +224,9 @@ class BaseEngine:
 
         Returns ``(cached_per_layer, communicated_per_layer,
         preprocessing_seconds)``; both lists are indexed ``[l-1]``.
+        Cache-aware engines may return a 4-tuple ``(cached,
+        communicated, stale_cached, preprocessing_seconds)`` whose third
+        element is the staleness-bounded CACHED set per layer.
         """
         raise NotImplementedError
 
@@ -200,19 +246,30 @@ class BaseEngine:
 
         cached_all: List[List[np.ndarray]] = [[] for _ in range(L)]
         decisions: List[Dict[int, np.ndarray]] = [dict() for _ in range(L)]
+        stale_decisions: List[Dict[int, np.ndarray]] = [dict() for _ in range(L)]
         preprocessing = 0.0
+        empty = np.empty(0, dtype=np.int64)
         for w in range(m):
-            cached, communicated, prep_s = self.decide_dependencies(w)
+            result = self.decide_dependencies(w)
+            if len(result) == 4:
+                cached, communicated, stale, prep_s = result
+            else:
+                cached, communicated, prep_s = result
+                stale = [empty] * L
             preprocessing = max(preprocessing, prep_s)  # workers run in parallel
             for l in range(L):
                 cached_all[l].append(cached[l])
                 decisions[l][w] = communicated[l]
+                stale_decisions[l][w] = stale[l]
 
         # Derive compute sets top-down: a dependency in C is received, a
-        # dependency in R (or any remote input outside the decided set,
-        # i.e. cached-subtree interior) is computed locally.
+        # dependency in H is served from the historical cache (received
+        # only on refresh epochs), a dependency in R (or any remote
+        # input outside the decided set, i.e. cached-subtree interior)
+        # is computed locally.
         compute_sets: List[List[np.ndarray]] = [[None] * m for _ in range(L)]
         comm_ids: List[List[np.ndarray]] = [[None] * m for _ in range(L)]
+        stale_ids: List[List[np.ndarray]] = [[None] * m for _ in range(L)]
         blocks: List[List[LayerBlock]] = [[None] * m for _ in range(L)]
         for w in range(m):
             owned = self.partitioning.part(w)
@@ -226,12 +283,19 @@ class BaseEngine:
                 ]
                 comm = np.intersect1d(remote_inputs, decisions[l - 1][w])
                 comm_ids[l - 1][w] = comm
-                local_remote = np.setdiff1d(remote_inputs, comm)
+                stale = np.intersect1d(remote_inputs, stale_decisions[l - 1][w])
+                stale_ids[l - 1][w] = stale
+                local_remote = np.setdiff1d(
+                    np.setdiff1d(remote_inputs, comm), stale
+                )
                 if l > 1:
                     need = np.union1d(owned, local_remote)
 
         exchanges = [
             MirrorExchange(self.assignment, comm_ids[l], m) for l in range(L)
+        ]
+        refresh_exchanges = [
+            MirrorExchange(self.assignment, stale_ids[l], m) for l in range(L)
         ]
         plan = EnginePlan(
             compute_sets=compute_sets,
@@ -240,10 +304,13 @@ class BaseEngine:
             exchanges=exchanges,
             cached_deps=cached_all,
             preprocessing_s=preprocessing,
+            stale_deps=stale_ids,
+            refresh_exchanges=refresh_exchanges,
         )
         self._account_memory(plan)
         self.plan_ = plan
         self._build_lookups(plan)
+        self._build_historical_caches(plan)
         return plan
 
     def _build_lookups(self, plan: EnginePlan) -> None:
@@ -259,6 +326,36 @@ class BaseEngine:
                 ids = plan.compute_sets[l][w]
                 pos[ids] = np.arange(len(ids))
                 self._pos_in_compute[l][w] = pos
+        # Row positions of the stale-cached set inside each block's
+        # input rows (None where the set is empty).
+        self._stale_rows: List[List[Optional[np.ndarray]]] = [
+            [None] * m for _ in range(self.num_layers)
+        ]
+        for l in range(self.num_layers):
+            for w in range(m):
+                stale = plan.stale_deps[l][w]
+                if stale is None or len(stale) == 0:
+                    continue
+                block = plan.blocks[l][w]
+                rows = np.flatnonzero(np.isin(block.input_vertices, stale))
+                self._stale_rows[l][w] = rows
+
+    def _build_historical_caches(self, plan: EnginePlan) -> None:
+        """One per-worker bounded-staleness store, sized by the plan."""
+        if self.cache_config is None or plan.total_stale_vertices() == 0:
+            self._hist_caches = None
+            return
+        eviction = get_policy(self.cache_config.policy).runtime_eviction
+        self._hist_caches = [
+            HistoricalEmbeddingCache(
+                self.num_layers, self.cache_config.tau, eviction=eviction
+            )
+            for _ in range(self.cluster.num_workers)
+        ]
+
+    @property
+    def _cache_active(self) -> bool:
+        return self._hist_caches is not None
 
     # ------------------------------------------------------------------
     # Resilience: fault-aware lookups, crash detection, re-provisioning
@@ -308,6 +405,9 @@ class BaseEngine:
             total += len(plan.cached_deps[l][worker]) * feat_bytes
             block = plan.blocks[l][worker]
             total += block.num_edges * 12  # replicated adjacency (src,dst,w)
+            # Historical-cache entries are re-materialised too (the
+            # replacement starts cold and must fetch exact values).
+            total += len(plan.stale_deps[l][worker]) * self.dims[l] * 4
         return int(total)
 
     def recover_from_crash(
@@ -340,6 +440,11 @@ class BaseEngine:
         if plan.preprocessing_s > 0:
             self.timeline.advance(worker, CPU, plan.preprocessing_s)
         self.faults.schedule.mark_recovered(fault)
+        if self._cache_active:
+            # The replacement's historical cache restarts cold; refresh
+            # cluster-wide next epoch so everyone is exact again.
+            self._hist_caches[worker].invalidate()
+            self._force_refresh = True
         t1 = self.timeline.barrier()  # survivors idle until re-admission
         return t1 - t0, refetch
 
@@ -354,6 +459,41 @@ class BaseEngine:
         self._epoch = int(epoch)
 
     # ------------------------------------------------------------------
+    # Staleness-bounded caching lifecycle
+    # ------------------------------------------------------------------
+    def force_refresh(self) -> None:
+        """Make the next epoch a refresh epoch (staleness-accuracy guard).
+
+        The trainer calls this when validation loss regresses under a
+        stale cache; a no-op without a cache config.
+        """
+        self._force_refresh = True
+
+    def _begin_epoch_cache(self) -> bool:
+        """Decide whether this epoch re-fetches the CACHED sets.
+
+        Refresh fires when the cache is cold, the staleness bound
+        ``tau`` has elapsed since the last refresh, ``tau`` is 0 (always
+        exact), or a refresh was forced.  Returns the decision, also
+        kept on ``self._cache_refreshing`` for gather/grad routing.
+        """
+        if not self._cache_active:
+            self._cache_refreshing = False
+            return False
+        tau = self.cache_config.tau
+        due = (
+            tau <= 0
+            or self._last_refresh_epoch is None
+            or self._force_refresh
+            or (self._epoch - self._last_refresh_epoch) >= tau
+        )
+        self._cache_refreshing = bool(due)
+        if due:
+            self._last_refresh_epoch = self._epoch
+            self._force_refresh = False
+        return self._cache_refreshing
+
+    # ------------------------------------------------------------------
     # Memory model
     # ------------------------------------------------------------------
     def _account_memory(self, plan: EnginePlan) -> None:
@@ -366,9 +506,22 @@ class BaseEngine:
             device = plan.device_memory[w]
             host = plan.host_memory[w]
             tape = host if self.tape_location == "host" else device
-            # Features resident for every locally available layer-1 input.
-            feat_rows = plan.blocks[0][w].num_inputs - len(plan.comm_ids[0][w])
+            # Features resident for every locally available layer-1
+            # input (stale-cached rows are accounted as cache entries).
+            feat_rows = (
+                plan.blocks[0][w].num_inputs
+                - len(plan.comm_ids[0][w])
+                - len(plan.stale_deps[0][w])
+            )
             tape.allocate(feat_rows * self.dims[0] * 4, "features")
+            # Historical-embedding entries live in host memory alongside
+            # the DepCache closures they share the budget with.
+            cache_bytes = sum(
+                len(plan.stale_deps[l][w]) * self.dims[l] * 4
+                for l in range(self.num_layers)
+            )
+            if cache_bytes:
+                host.allocate(cache_bytes, CACHE_MEMORY_LABEL)
             peak_chunk = 0
             for l in range(1, self.num_layers + 1):
                 block = plan.blocks[l - 1][w]
@@ -428,9 +581,15 @@ class BaseEngine:
         """One full-batch training epoch (forward, loss, backward, update)."""
         plan = self.plan()
         m = self.cluster.num_workers
+        refreshed = self._begin_epoch_cache()
+        self._forward_stats = []
         t_start = self._sync()
 
-        h_values, in_tensors, out_tensors = self._forward(plan, training=True)
+        self._in_training_forward = True
+        try:
+            h_values, in_tensors, out_tensors = self._forward(plan, training=True)
+        finally:
+            self._in_training_forward = False
         loss_value, loss_tensors = self._compute_loss(plan, out_tensors)
         t_forward = self._sync()
 
@@ -444,18 +603,20 @@ class BaseEngine:
         t_end = self._sync()
 
         self._epoch += 1
-        comm_bytes = sum(
-            int(self._forward_volumes(plan, l).sum())
-            for l in range(1, self.num_layers + 1)
-        )
+        stats = self._forward_stats
         return EpochReport(
             epoch=self._epoch,
             epoch_time_s=t_end - t_start,
             loss=loss_value,
-            comm_bytes=comm_bytes,
+            comm_bytes=sum(s.total_bytes for s in stats),
             forward_time_s=t_forward - t_start,
             backward_time_s=t_backward - t_forward,
             allreduce_time_s=t_end - t_backward,
+            cache_hits=sum(s.cache_hits for s in stats),
+            cache_misses=sum(s.cache_misses for s in stats),
+            refresh_bytes=sum(s.refresh_bytes for s in stats),
+            comm_saved_bytes=sum(s.saved_bytes for s in stats),
+            cache_refreshed=refreshed,
         )
 
     # -- forward -------------------------------------------------------
@@ -504,6 +665,8 @@ class BaseEngine:
         """
         ids = block.input_vertices
         if l == 1:
+            # Features are static, so a "stale" cached feature row is
+            # bit-identical to a fresh fetch; no override needed.
             return self.graph.features[ids]
         rows = np.empty((len(ids), self.dims[l - 1]), dtype=np.float32)
         pos_local = self._pos_in_compute[l - 2][w][ids]
@@ -521,7 +684,34 @@ class BaseEngine:
                         "owner did not compute a vertex it owns (plan bug)"
                     )
                 rows[np.where(~local)[0][sel]] = h_values[l - 1][j][pos]
+        self._apply_historical_cache(l, w, block, rows)
         return rows
+
+    def _apply_historical_cache(
+        self, l: int, w: int, block: LayerBlock, rows: np.ndarray
+    ) -> None:
+        """Serve/refresh worker ``w``'s stale-cached rows for layer ``l``.
+
+        ``rows`` arrives holding the exact (owner-computed) values.  On a
+        training refresh epoch the stale set's rows are stored into the
+        historical cache (exact, newly stamped).  Otherwise any entry
+        still within the staleness bound overrides its exact row --
+        that is the bounded-staleness approximation; expired or missing
+        entries keep the exact value ("exact value on miss").
+        """
+        if not self._cache_active or l < 2:
+            return
+        srows = self._stale_rows[l - 1][w]
+        if srows is None or len(srows) == 0:
+            return
+        hist = self._hist_caches[w]
+        sids = block.input_vertices[srows]
+        if self._cache_refreshing and self._in_training_forward:
+            hist.store(l, sids, rows[srows], self._epoch)
+            return
+        fresh, cached_rows = hist.lookup(l, sids, self._epoch)
+        if cached_rows is not None:
+            rows[srows[fresh]] = cached_rows
 
     # -- loss ----------------------------------------------------------
     def _compute_loss(self, plan, out_tensors):
@@ -578,16 +768,31 @@ class BaseEngine:
             self._sync()
 
     def _route_input_grads(self, plan, grad_acc, l, w, grad_rows):
-        """PostToDepNbr: push input grads to whoever computed the value."""
+        """PostToDepNbr: push input grads to whoever computed the value.
+
+        Rows served from the historical cache on a non-refresh epoch are
+        treated as constants: their value was not produced by the owner
+        this epoch, so no gradient flows back (the standard historical-
+        embedding approximation).  On refresh epochs the stale set's
+        inputs are the owners' current values and gradients flow
+        normally -- which is what makes ``tau = 0`` bit-identical to
+        DepComm.
+        """
         block = plan.blocks[l - 1][w]
         ids = block.input_vertices
         pos_local = self._pos_in_compute[l - 2][w][ids]
         local = pos_local >= 0
         self._accumulate(plan, grad_acc, l - 2, w, pos_local[local], grad_rows[local])
-        remote_ids = ids[~local]
+        push = ~local
+        if self._cache_active and not self._cache_refreshing:
+            srows = self._stale_rows[l - 1][w]
+            if srows is not None and len(srows):
+                push = push.copy()
+                push[srows] = False
+        remote_ids = ids[push]
         if len(remote_ids) == 0:
             return
-        remote_rows = grad_rows[~local]
+        remote_rows = grad_rows[push]
         owners = self.assignment[remote_ids]
         for j in np.unique(owners):
             sel = owners == j
@@ -626,9 +831,14 @@ class BaseEngine:
                 continue
             sparse_total = layer.sparse_flops(block)
             comm_set = plan.comm_ids[l - 1][w]
-            if len(comm_set):
+            stale_set = plan.stale_deps[l - 1][w]
+            # Stale-cached sources count as received: their rows arrive
+            # over the wire on refresh epochs and are staged from the
+            # host-resident cache otherwise, paying the same H2D copy.
+            if len(comm_set) or len(stale_set):
                 received = np.zeros(self.graph.num_vertices, dtype=bool)
                 received[comm_set] = True
+                received[stale_set] = True
                 from_comm = received[block.edge_src_global]
             else:
                 from_comm = np.zeros(block.num_edges, dtype=bool)
@@ -639,7 +849,9 @@ class BaseEngine:
                 count = int(sel.sum())
                 if count == 0:
                     continue
-                vertices = len(plan.exchanges[l - 1].recv_ids.get((j, w), ()))
+                vertices = len(plan.exchanges[l - 1].recv_ids.get((j, w), ())) + len(
+                    plan.refresh_exchanges[l - 1].recv_ids.get((j, w), ())
+                )
                 h2d = device.transfer_time(
                     vertices * d_in * 4 + count * 12
                 )
@@ -664,10 +876,33 @@ class BaseEngine:
             return self._forward_volumes(plan, l).T
         return np.zeros((self.cluster.num_workers,) * 2)
 
-    def _charge_forward_layer(self, plan: EnginePlan, l: int) -> None:
+    def _cache_traffic(self, plan: EnginePlan, l: int, backward: bool) -> Optional[CacheTraffic]:
+        """The stale-cached share of layer ``l``'s exchange, if any."""
+        if not self._cache_active:
+            return None
+        exchange = plan.refresh_exchanges[l - 1]
+        if exchange.total_vertices == 0:
+            return None
+        volumes = exchange.volume_matrix(self.dims[l - 1])
+        if backward:
+            # Gradient return happens only when the fetch happened; no
+            # grads flow into layer-1 inputs (features), matching
+            # _backward_volumes.
+            if l == 1:
+                return None
+            return CacheTraffic(
+                volumes=volumes.T, refresh=self._cache_refreshing, entries=0
+            )
+        return CacheTraffic(
+            volumes=volumes,
+            refresh=self._cache_refreshing,
+            entries=exchange.total_vertices,
+        )
+
+    def _charge_forward_layer(self, plan: EnginePlan, l: int) -> ExchangeStats:
         volumes = self._forward_volumes(plan, l)
         chunk_compute, local_compute, dense = self._layer_compute_split(plan, l)
-        run_exchange(
+        stats = run_exchange(
             self.timeline,
             self.cluster.network,
             volumes,
@@ -678,9 +913,12 @@ class BaseEngine:
             bytes_per_message=self.dims[l - 1] * 4,
             faults=self.faults,
             retry=self.retry,
+            cache=self._cache_traffic(plan, l, backward=False),
         )
+        self._forward_stats.append(stats)
         for w in range(self.cluster.num_workers):
             self.timeline.advance(w, GPU, dense[w])
+        return stats
 
     def _charge_backward_layer(self, plan: EnginePlan, l: int) -> None:
         chunk_compute, local_compute, dense = self._layer_compute_split(plan, l)
@@ -698,6 +936,7 @@ class BaseEngine:
             bytes_per_message=self.dims[l - 1] * 4,
             faults=self.faults,
             retry=self.retry,
+            cache=self._cache_traffic(plan, l, backward=True),
         )
 
     def _charge_allreduce(self) -> None:
@@ -780,6 +1019,8 @@ class BaseEngine:
         Returns the epoch's modeled seconds.
         """
         plan = self.plan()
+        self._begin_epoch_cache()
+        self._forward_stats = []
         t_start = self._sync()
         for l in range(1, self.num_layers + 1):
             self._charge_forward_layer(plan, l)

@@ -41,7 +41,7 @@ class HybridEngine(BaseEngine):
 
     def decide_dependencies(
         self, worker: int
-    ) -> Tuple[List[np.ndarray], List[np.ndarray], float]:
+    ) -> Tuple[List[np.ndarray], List[np.ndarray], List[np.ndarray], float]:
         if self.constants is None:
             self.constants = probe_constants(self.cluster, self.model)
         budget = self.memory_limit_bytes
@@ -56,6 +56,7 @@ class HybridEngine(BaseEngine):
             memory_limit_bytes=budget,
             mu=self.mu,
             force_cache_fraction=self.force_cache_fraction,
+            cache=self.cache_config,
         )
         prep = result.modeled_seconds + _PROBE_SECONDS
-        return result.cached, result.communicated, prep
+        return result.cached, result.communicated, result.stale_cached, prep

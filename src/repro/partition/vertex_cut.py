@@ -12,7 +12,6 @@ both endpoints, then one endpoint, then the least-loaded worker.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 

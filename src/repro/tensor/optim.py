@@ -45,7 +45,7 @@ class Optimizer:
         """Restore state produced by :meth:`state_dict`."""
         if state.get("kind") != self.state_kind:
             raise ValueError(
-                f"optimizer state kind mismatch: checkpoint has "
+                "optimizer state kind mismatch: checkpoint has "
                 f"{state.get('kind')!r}, optimizer is {self.state_kind!r}"
             )
 

@@ -31,6 +31,8 @@ class TrainingHistory:
     engine_name: str
     reports: List[EpochReport] = field(default_factory=list)
     convergence: List[ConvergencePoint] = field(default_factory=list)
+    # Refresh epochs forced by the staleness-vs-accuracy guard.
+    forced_refreshes: int = 0
 
     @property
     def total_time_s(self) -> float:
@@ -100,10 +102,28 @@ class DistributedTrainer:
         elapsed = 0.0
         best_accuracy = -1.0
         stale_evals = 0
+        # Staleness-vs-accuracy guard: with a cache config that allows
+        # it, a loss regression on an epoch that served stale embeddings
+        # forces the next epoch to refresh (exact values) rather than
+        # letting approximation error compound within the tau window.
+        guard_active = (
+            getattr(self.engine, "cache_config", None) is not None
+            and self.engine.cache_config.refresh_on_regression
+        )
+        prev_loss: Optional[float] = None
         for epoch in range(1, epochs + 1):
             report = self.engine.run_epoch(optimizer=self.optimizer)
             elapsed += report.epoch_time_s
             history.reports.append(report)
+            if guard_active:
+                if (
+                    prev_loss is not None
+                    and not report.cache_refreshed
+                    and report.loss > prev_loss
+                ):
+                    self.engine.force_refresh()
+                    history.forced_refreshes += 1
+                prev_loss = report.loss
             if eval_every and (epoch % eval_every == 0 or epoch == epochs):
                 accuracy = self.engine.evaluate(mask=eval_mask)
                 history.convergence.append(

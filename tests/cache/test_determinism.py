@@ -1,0 +1,73 @@
+"""The tau=0 determinism contract: cache on == cache off, bit for bit.
+
+A staleness bound of zero means nothing is ever served stale: every
+epoch re-fetches the CACHED sets, so a cache-enabled run must be
+bit-identical to a cache-free one -- same losses, same parameters,
+same modeled epoch times, same communication volume.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.budget import CacheConfig
+from repro.cluster.spec import ClusterSpec
+from repro.core.model import GNNModel
+from repro.engines import make_engine
+from repro.graph import generators
+from repro.training.trainer import DistributedTrainer
+
+EPOCHS = 6
+
+
+@pytest.fixture
+def graph():
+    g = generators.community(120, 4, avg_degree=7.0, seed=11)
+    generators.attach_features(g, 12, 4, seed=12)
+    g.set_split(rng=np.random.default_rng(13))
+    return g.gcn_normalized()
+
+
+def train(graph, engine_name, cache):
+    model = GNNModel.gcn(12, 8, 4, seed=5)
+    engine = make_engine(
+        engine_name, graph, model, ClusterSpec.ecs(4), cache_config=cache
+    )
+    history = DistributedTrainer(engine, lr=0.01).train(EPOCHS)
+    params = [p.data.copy() for p in model.parameters()]
+    return history, params, engine
+
+
+@pytest.mark.parametrize("engine_name", ["depcomm", "hybrid"])
+def test_tau_zero_bit_identical(graph, engine_name):
+    base_history, base_params, _ = train(graph, engine_name, None)
+    tau0_history, tau0_params, engine = train(
+        graph, engine_name, CacheConfig(tau=0.0)
+    )
+    for base, tau0 in zip(base_history.reports, tau0_history.reports):
+        assert tau0.loss == base.loss
+        assert tau0.epoch_time_s == base.epoch_time_s
+        assert tau0.comm_bytes == base.comm_bytes
+        assert tau0.forward_time_s == base.forward_time_s
+        assert tau0.backward_time_s == base.backward_time_s
+    for p_base, p_tau0 in zip(base_params, tau0_params):
+        assert (p_base == p_tau0).all()
+    # The cache never served anything stale...
+    assert all(r.cache_hits == 0 for r in tau0_history.reports)
+    # ...and every epoch was a refresh epoch.
+    if engine._cache_active:
+        assert all(r.cache_refreshed for r in tau0_history.reports)
+
+
+def test_no_config_is_literally_inactive(graph):
+    _, _, engine = train(graph, "depcomm", None)
+    assert engine._hist_caches is None
+    plan = engine.plan()
+    assert plan.total_stale_vertices() == 0
+    assert all(len(h) == 0 for per_l in plan.stale_deps for h in per_l)
+
+
+def test_tau_zero_depcomm_has_stale_sets(graph):
+    """tau=0 still routes deps through the cache path (and refreshes)."""
+    _, _, engine = train(graph, "depcomm", CacheConfig(tau=0.0))
+    assert engine._cache_active
+    assert engine.plan().total_stale_vertices() > 0

@@ -1,0 +1,124 @@
+"""Admission policies: ranking order, determinism, expectation math."""
+
+import numpy as np
+import pytest
+
+from repro.cache.budget import CacheConfig
+from repro.cache.policies import (
+    ExpectationPolicy,
+    LRUPolicy,
+    StaticDegreeTopK,
+    get_policy,
+    make_policy,
+)
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.partition.chunk import chunk_partition
+
+
+@pytest.fixture
+def star_setting():
+    """Vertex 0 is a hub feeding every owned vertex of worker 0."""
+    # Edges: 0 -> {1,2,3}, 4 -> 1, 5 -> 2 (workers own {1,2,3} etc.)
+    src = np.array([0, 0, 0, 4, 5])
+    dst = np.array([1, 2, 3, 1, 2])
+    g = Graph(6, src, dst, name="star")
+    partitioning = chunk_partition(g, 2)
+    return g, partitioning
+
+
+class TestDegree:
+    def test_hub_ranks_first(self, star_setting):
+        g, p = star_setting
+        policy = StaticDegreeTopK(g, p, 0)
+        order = policy.rank(np.array([4, 0, 5]), 1)
+        assert order[0] == 0  # degree 3 beats degree 1
+
+    def test_ties_break_by_id(self, star_setting):
+        g, p = star_setting
+        policy = StaticDegreeTopK(g, p, 0)
+        order = policy.rank(np.array([5, 4]), 1)
+        assert order.tolist() == [4, 5]
+
+    def test_rank_is_deterministic(self, star_setting):
+        g, p = star_setting
+        policy = StaticDegreeTopK(g, p, 0)
+        candidates = np.array([5, 0, 4])
+        first = policy.rank(candidates, 1)
+        assert (first == policy.rank(candidates, 1)).all()
+
+
+class TestLRU:
+    def test_preserves_arrival_order(self, star_setting):
+        g, p = star_setting
+        policy = LRUPolicy(g, p, 0)
+        order = policy.rank(np.array([5, 0, 4]), 1)
+        assert order.tolist() == [5, 0, 4]
+
+    def test_runtime_eviction_is_lru(self):
+        assert LRUPolicy.runtime_eviction == "lru"
+        assert StaticDegreeTopK.runtime_eviction == "fifo"
+
+
+class TestExpectation:
+    def test_full_batch_equals_consumer_count(self, star_setting):
+        g, p = star_setting
+        policy = ExpectationPolicy(g, p, 0, fanout=None)
+        candidates = np.arange(g.num_vertices)
+        scores = policy.scores(candidates, 1)
+        # Full batch degenerates to the exact local consumer count.
+        owned = p.assignment == 0
+        expected = np.bincount(
+            g.src[owned[g.dst]], minlength=g.num_vertices
+        ).astype(float)
+        assert scores.tolist() == expected[candidates].tolist()
+        assert expected.sum() > 0  # the fixture has boundary edges
+
+    def test_fanout_probability_in_unit_interval(self, star_setting):
+        g, p = star_setting
+        policy = ExpectationPolicy(g, p, 0, fanout=1)
+        scores = policy.scores(np.arange(6), 1)
+        assert ((scores >= 0.0) & (scores <= 1.0)).all()
+
+    def test_larger_fanout_larger_probability(self):
+        g = generators.community(60, 3, avg_degree=6.0, seed=7)
+        p = chunk_partition(g, 3)
+        candidates = np.arange(g.num_vertices)
+        small = ExpectationPolicy(g, p, 0, fanout=1).scores(candidates, 1)
+        large = ExpectationPolicy(g, p, 0, fanout=10).scores(candidates, 1)
+        assert (large >= small - 1e-12).all()
+
+    def test_no_consumers_scores_zero(self, star_setting):
+        g, p = star_setting
+        policy = ExpectationPolicy(g, p, 0, fanout=2)
+        # Vertex 3 feeds nobody in worker 0's partition.
+        assert policy.scores(np.array([3]), 1)[0] == 0.0
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_policy("degree") is StaticDegreeTopK
+        assert get_policy("LRU") is LRUPolicy
+        assert get_policy("expectation") is ExpectationPolicy
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown cache policy"):
+            get_policy("belady")
+
+    def test_make_policy_passes_fanout(self, star_setting):
+        g, p = star_setting
+        policy = make_policy(
+            CacheConfig(policy="expectation", fanout=3), g, p, 0
+        )
+        assert isinstance(policy, ExpectationPolicy)
+        assert policy.fanout == 3
+        assert isinstance(
+            make_policy(CacheConfig(policy="degree"), g, p, 0),
+            StaticDegreeTopK,
+        )
+
+    def test_empty_candidates(self, star_setting):
+        g, p = star_setting
+        for name in ("degree", "lru", "expectation"):
+            policy = make_policy(CacheConfig(policy=name), g, p, 0)
+            assert len(policy.rank(np.empty(0, dtype=np.int64), 1)) == 0

@@ -1,11 +1,10 @@
 """Device/network time formulas and memory tracking."""
 
-import numpy as np
 import pytest
 
-from repro.cluster.device import CPU_XEON, DeviceProfile, T4, V100
+from repro.cluster.device import CPU_XEON, T4, V100
 from repro.cluster.memory import MemoryTracker, OutOfMemoryError
-from repro.cluster.network import ECS_NETWORK, IBV_NETWORK, LOOPBACK, NetworkProfile
+from repro.cluster.network import ECS_NETWORK, IBV_NETWORK, LOOPBACK
 
 
 class TestDeviceProfile:

@@ -8,7 +8,6 @@ closures with k > 1, multi-level t_r subtrees, per-layer exchanges).
 import numpy as np
 import pytest
 
-from repro.cluster.spec import ClusterSpec
 from repro.core.model import GNNModel
 from repro.engines import DepCacheEngine, DepCommEngine, HybridEngine
 from repro.graph.khop import khop_closure

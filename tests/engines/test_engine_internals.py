@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.cluster.spec import ClusterSpec
 from repro.core.model import GNNModel
 from repro.engines import DepCommEngine, HybridEngine
 from repro.engines.base import BaseEngine

@@ -1,6 +1,5 @@
 """Evaluation masks, hybrid budgets, and misc engine coverage."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.spec import ClusterSpec

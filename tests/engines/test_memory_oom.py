@@ -1,6 +1,5 @@
 """Memory model: the paper's OOM outcomes at laptop scale."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.memory import OutOfMemoryError

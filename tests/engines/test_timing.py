@@ -4,7 +4,6 @@ These tests pin the paper's qualitative performance claims at test
 granularity; the benchmarks regenerate the full tables.
 """
 
-import numpy as np
 import pytest
 
 from repro.cluster.spec import ClusterSpec

@@ -8,7 +8,6 @@ from repro.engines import make_engine
 from repro.resilience import (
     FaultSchedule,
     RecoveryPolicy,
-    StragglerFault,
     WorkerCrashError,
     WorkerCrashFault,
 )

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.tensor import nn
-from repro.tensor.tensor import Tensor
 
 
 class TestEmbedding:

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.experiments import REGISTRY, list_experiments, run_all, run_experiment
+from repro.experiments import list_experiments, run_all, run_experiment
 
 
 class TestRegistry:

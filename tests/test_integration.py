@@ -1,6 +1,5 @@
 """End-to-end integration: the full public-API pipeline at small scale."""
 
-import numpy as np
 import pytest
 
 import repro
