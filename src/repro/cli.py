@@ -20,11 +20,15 @@ Commands
 ``chaos``
     Inject faults (stragglers, link degradation, message loss, worker
     crashes) and compare how each engine degrades; crashes are
-    recovered by checkpoint rollback-restart.
+    recovered by checkpoint rollback-restart, by elastic shrink
+    (survivors absorb the dead partition), or per-crash (``auto``).
 ``cache-sweep``
     Sweep the staleness bound tau (and optionally the cache capacity)
     of the historical-embedding cache, reporting per-epoch
     communication volume and accuracy against a cache-free baseline.
+``replan-sweep``
+    Compare static planning against health-monitor-driven online
+    re-planning under sustained stragglers / degraded links.
 """
 
 from __future__ import annotations
@@ -143,6 +147,8 @@ def cmd_probe(args) -> int:
 
 
 def cmd_train(args) -> int:
+    import json
+
     graph, model, engine = _build(args, args.engine)
     try:
         plan = engine.plan()
@@ -177,6 +183,36 @@ def cmd_train(args) -> int:
             epochs=args.epochs, accuracy=history.best_accuracy(),
         )
         print(f"checkpoint written to {path}")
+    if args.json:
+        payload = {
+            "dataset": args.dataset,
+            "arch": args.arch,
+            "engine": args.engine,
+            "epochs": args.epochs,
+            "best_accuracy": history.best_accuracy(),
+            "final_loss": history.final_loss,
+            "avg_epoch_time_s": history.avg_epoch_time_s,
+            "convergence": [
+                {"epoch": p.epoch, "time_s": p.time_s,
+                 "accuracy": p.accuracy, "loss": p.loss}
+                for p in history.convergence
+            ],
+        }
+        if getattr(engine, "cache_config", None) is not None:
+            hits = sum(r.cache_hits for r in history.reports)
+            misses = sum(r.cache_misses for r in history.reports)
+            payload["cache"] = {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+                "comm_saved_bytes": sum(
+                    r.comm_saved_bytes for r in history.reports
+                ),
+                "forced_refreshes": history.forced_refreshes,
+            }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"json written to {args.json}")
     return 0
 
 
@@ -202,7 +238,10 @@ def _parse_endpoint(token: str):
     return None if token in ("*", "") else int(token)
 
 
-def _parse_fault_args(args) -> List:
+_TRUTHY = ("1", "true", "yes", "perm", "permanent")
+
+
+def _parse_fault_args(args, allow_crash: bool = True) -> List:
     """Build fault objects from the ``repro chaos`` flag grammar."""
     from repro.resilience import (
         LinkDegradationFault,
@@ -238,7 +277,9 @@ def _parse_fault_args(args) -> List:
             src=_parse_endpoint(parts[1]) if len(parts) > 1 else None,
             dst=_parse_endpoint(parts[2]) if len(parts) > 2 else None,
         ))
-    for spec in args.crash or []:
+    for spec in getattr(args, "crash", None) or []:
+        if not allow_crash:
+            raise SystemExit("--crash is not valid for this command")
         parts = spec.split(":")
         if len(parts) < 2:
             raise SystemExit(f"--crash wants WORKER:TIME, got {spec!r}")
@@ -246,18 +287,24 @@ def _parse_fault_args(args) -> List:
             worker=int(parts[0]),
             at_time=float(parts[1]),
             detection_timeout_s=(
-                float(parts[2]) if len(parts) > 2 else 0.05
+                float(parts[2]) if len(parts) > 2 and parts[2] else 0.05
+            ),
+            permanent=(
+                parts[3].lower() in _TRUTHY if len(parts) > 3 else False
             ),
         ))
     if not faults:
         raise SystemExit(
             "chaos needs at least one fault "
-            "(--straggler / --degrade / --loss / --crash)"
+            "(--straggler / --degrade / --loss"
+            + (" / --crash)" if allow_crash else ")")
         )
     return faults
 
 
 def cmd_chaos(args) -> int:
+    import json
+
     from repro.resilience import (
         FaultSchedule,
         RecoveryPolicy,
@@ -280,8 +327,13 @@ def cmd_chaos(args) -> int:
         ["depcache", "depcomm", "hybrid"]
         if args.engine == "all" else [args.engine]
     )
-    policy = RecoveryPolicy(checkpoint_every=args.checkpoint_every)
+    policy = RecoveryPolicy(
+        checkpoint_every=args.checkpoint_every,
+        strategy=args.recovery,
+        rejoin_after_epochs=args.rejoin_after,
+    )
     rows = []
+    reports = {}
     for engine_name in engines:
         schedule = FaultSchedule(list(faults), seed=args.fault_seed)
         try:
@@ -291,8 +343,9 @@ def cmd_chaos(args) -> int:
                 mode=args.mode,
             )
         except OutOfMemoryError as err:
-            rows.append([engine_name, "OOM", "-", "-", "-", "-", err.label])
+            rows.append([engine_name, "OOM", "-", "-", "-", "-", "-", err.label])
             continue
+        reports[engine_name] = report
         rows.append([
             engine_name,
             f"{report.clean_epoch_s * 1e3:.2f}",
@@ -305,12 +358,24 @@ def cmd_chaos(args) -> int:
                 f"({report.total_recovery_s * 1e3:.1f} ms)"
                 if report.recoveries else "-"
             ),
+            str(report.num_workers_final),
         ])
     print(render_table(
         ["engine", "clean ms", "faulty ms", "slowdown", "retries",
-         "idle", "recoveries"],
+         "idle", "recoveries", "workers"],
         rows,
     ))
+    if args.json:
+        payload = {
+            "dataset": args.dataset,
+            "mode": args.mode,
+            "recovery": args.recovery,
+            "epochs": args.epochs,
+            "engines": {name: r.to_dict() for name, r in reports.items()},
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"json written to {args.json}")
     return 0
 
 
@@ -405,6 +470,56 @@ def cmd_cache_sweep(args) -> int:
     return 0
 
 
+def cmd_replan_sweep(args) -> int:
+    import json
+
+    from repro.resilience import FaultSchedule, run_replan_sweep
+
+    graph = prepare_graph(load_dataset(args.dataset, scale=args.scale), args.arch)
+    spec = spec_of(args.dataset)
+
+    def model_factory():
+        return GNNModel.build(
+            args.arch, graph.feature_dim, args.hidden or spec.hidden_dim,
+            graph.num_classes, num_layers=args.layers, seed=args.seed,
+        )
+
+    faults = _parse_fault_args(args, allow_crash=False)
+
+    def schedule_factory():
+        return FaultSchedule(list(faults), seed=args.fault_seed)
+
+    try:
+        result = run_replan_sweep(
+            args.engine, graph, model_factory, _cluster(args),
+            schedule_factory, epochs=args.epochs,
+            check_every=args.check_every, alpha=args.alpha,
+            drift_threshold=args.drift_threshold,
+        )
+    except OutOfMemoryError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    rows = [[
+        result["engine"],
+        f"{result['static_makespan_s'] * 1e3:.2f}",
+        f"{result['adaptive_makespan_s'] * 1e3:.2f}",
+        f"{result['speedup']:.2f}x",
+        str(result["replans"]),
+        f"{result['static_cache_ratio'] * 100:.0f}%",
+        f"{result['adaptive_cache_ratio'] * 100:.0f}%",
+    ]]
+    print(render_table(
+        ["engine", "static ms", "adaptive ms", "speedup", "replans",
+         "static cached", "adaptive cached"],
+        rows,
+    ))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2)
+        print(f"json written to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -438,6 +553,8 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--cache-policy", default="expectation",
                        choices=["degree", "lru", "expectation"],
                        help="cache admission policy (default expectation)")
+    train.add_argument("--json", default=None,
+                       help="write a training summary to this JSON file")
 
     sweep = sub.add_parser(
         "cache-sweep",
@@ -495,11 +612,52 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--loss", action="append", metavar="SPEC",
                        help="FRACTION[:SRC[:DST]] of sends dropped")
     chaos.add_argument("--crash", action="append", metavar="SPEC",
-                       help="WORKER:TIME[:DETECTION_TIMEOUT_S]")
+                       help="WORKER:TIME[:DETECTION_TIMEOUT_S[:PERMANENT]]; "
+                            "a truthy 4th field marks the worker as gone "
+                            "for good")
     chaos.add_argument("--checkpoint-every", type=int, default=5,
                        help="epochs between recovery checkpoints")
     chaos.add_argument("--fault-seed", type=int, default=0,
                        help="seed for message-loss draws")
+    chaos.add_argument("--recovery", default="restart",
+                       choices=["restart", "shrink", "auto"],
+                       help="crash recovery strategy: re-provision and "
+                            "replay, shrink onto the survivors, or pick "
+                            "per crash (default restart)")
+    chaos.add_argument("--rejoin-after", type=int, default=None,
+                       help="epochs after a shrink before the departed "
+                            "worker rejoins (default: never)")
+    chaos.add_argument("--json", default=None,
+                       help="write per-engine chaos reports to this JSON "
+                            "file")
+
+    replan = sub.add_parser(
+        "replan-sweep",
+        help="compare static planning vs online re-planning under "
+             "sustained faults",
+    )
+    _add_model_args(replan)
+    _add_cluster_args(replan)
+    replan.add_argument("--engine", default="hybrid",
+                        choices=["depcache", "depcomm", "hybrid"])
+    replan.add_argument("--epochs", type=int, default=10)
+    replan.add_argument("--straggler", action="append", metavar="SPEC",
+                        help="WORKER:GPU_FACTOR[:CPU_FACTOR[:START[:END]]]")
+    replan.add_argument("--degrade", action="append", metavar="SPEC",
+                        help="SRC:DST:FACTOR[:EXTRA_LATENCY_S]; '*' matches "
+                             "any endpoint")
+    replan.add_argument("--loss", action="append", metavar="SPEC",
+                        help="FRACTION[:SRC[:DST]] of sends dropped")
+    replan.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for message-loss draws")
+    replan.add_argument("--check-every", type=int, default=1,
+                        help="epochs between health-monitor observations")
+    replan.add_argument("--alpha", type=float, default=0.4,
+                        help="EWMA smoothing for the health estimates")
+    replan.add_argument("--drift-threshold", type=float, default=0.3,
+                        help="relative drift that triggers a re-plan")
+    replan.add_argument("--json", default=None,
+                        help="write the sweep result to this JSON file")
 
     return parser
 
@@ -512,6 +670,7 @@ _COMMANDS = {
     "analyze": cmd_analyze,
     "chaos": cmd_chaos,
     "cache-sweep": cmd_cache_sweep,
+    "replan-sweep": cmd_replan_sweep,
 }
 
 

@@ -82,6 +82,27 @@ class ClusterSpec:
         """Same cluster with any fault schedule removed (baseline runs)."""
         return replace(self, faults=None)
 
+    def without_worker(self, worker: int) -> "ClusterSpec":
+        """The reshaped (N-1)-worker cluster after ``worker`` leaves.
+
+        Survivors keep their relative order and are renumbered
+        ``0 .. N-2``; any fault schedule is remapped accordingly (faults
+        pinned to the departed worker are dropped).  Used by the elastic
+        shrink path (:mod:`repro.resilience.elastic`).
+        """
+        if not 0 <= worker < self.num_workers:
+            raise ValueError(
+                f"worker {worker} not in 0..{self.num_workers - 1}"
+            )
+        if self.num_workers < 2:
+            raise ValueError("cannot shrink a single-worker cluster")
+        survivors = [w for w in range(self.num_workers) if w != worker]
+        worker_map = {old: new for new, old in enumerate(survivors)}
+        faults = (
+            self.faults.remap_workers(worker_map) if self.faults else None
+        )
+        return replace(self, num_workers=self.num_workers - 1, faults=faults)
+
     def make_timeline(self, record: bool = True) -> Timeline:
         return Timeline(self.num_workers, record=record)
 

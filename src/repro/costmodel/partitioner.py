@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -58,6 +58,10 @@ class DependencyPartition:
     measured_evaluations: int = 0
     stale_cached: List[np.ndarray] = field(default_factory=list)
     cache_bytes: int = 0
+    # Per-layer ``{vertex: t_r seconds}`` that seeded the greedy's heap;
+    # a later run passes this back as ``warm_start`` to skip the initial
+    # measurement sweep (lines 5-7) when re-planning online.
+    initial_costs: List[Dict[int, float]] = field(default_factory=list)
 
     def _total(self) -> int:
         return (
@@ -118,6 +122,7 @@ def partition_dependencies(
     force_cache_fraction: Optional[float] = None,
     rng: Optional[np.random.Generator] = None,
     cache: Optional[CacheConfig] = None,
+    warm_start: Optional[DependencyPartition] = None,
 ) -> DependencyPartition:
     """Run Algorithm 4 for one worker.
 
@@ -126,6 +131,16 @@ def partition_dependencies(
     knob Figure 11's ratio sweep turns.  ``cache`` enables the third
     CACHED outcome (see module docstring); replicated closures and
     cache entries share ``memory_limit_bytes``.
+
+    ``warm_start`` (a prior run's :class:`DependencyPartition` for the
+    same worker and partitioning) seeds the heap from that run's
+    ``initial_costs`` instead of measuring every subtree, skipping the
+    initial sweep -- the online re-planning path.  Every pop is still
+    re-measured before deciding, so warm-started decisions stay correct
+    as long as the seeding order is close (exact under the health
+    monitor's uniform per-worker constant scaling, which preserves the
+    ``t_r`` ordering).  Vertices absent from the prior costs (a changed
+    dependency set) fall back to a fresh measurement.
     """
     num_layers = len(dims) - 1
     owned = partitioning.part(worker)
@@ -137,6 +152,7 @@ def partition_dependencies(
     cached: List[np.ndarray] = []
     communicated: List[np.ndarray] = []
     stale_cached: List[np.ndarray] = []
+    initial_costs: List[Dict[int, float]] = []
     # One shared budget S: closures and cache entries draw jointly.
     # A zero budget still gets a (1-byte) tracker so every multi-byte
     # allocation is refused, matching the pre-tracker int bookkeeping.
@@ -164,21 +180,32 @@ def partition_dependencies(
 
     for l in range(1, num_layers + 1):
         layer_deps = deps[l - 1]
+        warm_costs: Optional[Dict[int, float]] = None
+        if warm_start is not None and l - 1 < len(warm_start.initial_costs):
+            warm_costs = warm_start.initial_costs[l - 1]
+        layer_costs: Dict[int, float] = {}
         if budget_exhausted or len(layer_deps) == 0:
             cached.append(np.empty(0, dtype=np.int64))
             layer_cached = []
         else:
             t_c = cost_model.t_c(l)
-            # Line 5-7: initial measurement of every dependency.
+            # Line 5-7: initial measurement of every dependency (seeded
+            # from the warm start's prior costs when available).
             heap = []
             for u in layer_deps:
-                measurement = cost_model.t_r(int(u), l)
-                evaluations += 1
-                modeled_seconds += (
-                    _SECONDS_PER_EVALUATION
-                    + measurement.new_edge_count * _SECONDS_PER_EDGE_VISIT
-                )
-                heapq.heappush(heap, (measurement.cost_s, int(u)))
+                u = int(u)
+                if warm_costs is not None and u in warm_costs:
+                    cost = warm_costs[u]
+                else:
+                    measurement = cost_model.t_r(u, l)
+                    evaluations += 1
+                    modeled_seconds += (
+                        _SECONDS_PER_EVALUATION
+                        + measurement.new_edge_count * _SECONDS_PER_EDGE_VISIT
+                    )
+                    cost = measurement.cost_s
+                layer_costs[u] = cost
+                heapq.heappush(heap, (cost, u))
 
             layer_cached = []
             # Line 8-15: pop cheapest, re-measure, decide.
@@ -210,6 +237,7 @@ def partition_dependencies(
                 cost_model.commit(u, l, measurement)
 
             cached.append(np.asarray(sorted(layer_cached), dtype=np.int64))
+        initial_costs.append(layer_costs)
         remaining = np.setdiff1d(layer_deps, cached[-1])
         if cache_budget is not None:
             stale = _select_stale_cached(
@@ -237,4 +265,5 @@ def partition_dependencies(
         measured_evaluations=evaluations,
         stale_cached=stale_cached,
         cache_bytes=cache_bytes,
+        initial_costs=initial_costs,
     )

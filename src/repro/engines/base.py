@@ -206,6 +206,10 @@ class BaseEngine:
         self.dims = model.dims()
         self.num_layers = model.num_layers
         self.constants: Optional[ProbeResult] = None
+        # Per-worker effective constants (online re-planning): the
+        # health monitor scales the probed constants for degraded
+        # workers; empty means every worker plans with self.constants.
+        self.constants_overrides: Dict[int, ProbeResult] = {}
         self.plan_: Optional[EnginePlan] = None
         self._epoch = 0
         # Position lookup of every vertex inside its owner's sorted set.
@@ -356,6 +360,75 @@ class BaseEngine:
     @property
     def _cache_active(self) -> bool:
         return self._hist_caches is not None
+
+    def _constants_for(self, worker: int) -> Optional[ProbeResult]:
+        """Effective cost-model constants for ``worker``'s planning.
+
+        Health-monitor overrides (observed stragglers / degraded links)
+        take precedence over the cluster-wide probe; with no overrides
+        this is exactly ``self.constants``, so the default path is
+        bit-identical to pre-elastic behavior.
+        """
+        return self.constants_overrides.get(worker, self.constants)
+
+    def replan(
+        self, constants_overrides: Optional[Dict[int, ProbeResult]] = None
+    ) -> EnginePlan:
+        """Re-run dependency planning mid-training (online re-planning).
+
+        Discards the current plan, re-decides every worker's R/C/H sets
+        (with ``constants_overrides`` as per-worker effective constants
+        when given), charges the new plan's preprocessing to every
+        worker's CPU clock, and barriers.  Historical caches restart
+        cold, so the next epoch is a refresh epoch -- re-planning never
+        serves stale entries stamped under the old plan.
+        """
+        if constants_overrides is not None:
+            self.constants_overrides = dict(constants_overrides)
+        self.plan_ = None
+        plan = self.plan()
+        if plan.preprocessing_s > 0:
+            for w in range(self.cluster.num_workers):
+                self.timeline.advance(w, CPU, plan.preprocessing_s)
+        self.timeline.barrier()
+        if self._cache_active:
+            self._last_refresh_epoch = None
+            self._force_refresh = True
+        return plan
+
+    def _spawn_kwargs(self) -> Dict[str, object]:
+        """Constructor kwargs a reshaped clone of this engine inherits."""
+        return dict(
+            comm=self.comm,
+            record_timeline=self.timeline.record,
+            mu=self.mu,
+            memory_limit_bytes=self.memory_limit_bytes,
+            update_mode=self.update_mode,
+            retry=self.retry,
+            cache_config=self.cache_config,
+        )
+
+    def respawn(
+        self, cluster: ClusterSpec, partitioning: Partitioning
+    ) -> "BaseEngine":
+        """A fresh engine of the same class on a reshaped cluster.
+
+        Shares the graph and the *model object* (so an optimizer bound
+        to ``model.parameters()`` stays valid across an elastic shrink
+        or rejoin) and inherits the probed constants -- planning on the
+        new shape reuses the same T_v/T_e/T_c the old plan was built
+        with.  The new engine's timeline starts at zero; the elastic
+        layer advances it to the handover point.
+        """
+        engine = type(self)(
+            self.graph,
+            self.model,
+            cluster,
+            partitioning=partitioning,
+            **self._spawn_kwargs(),
+        )
+        engine.constants = self.constants
+        return engine
 
     # ------------------------------------------------------------------
     # Resilience: fault-aware lookups, crash detection, re-provisioning

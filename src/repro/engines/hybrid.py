@@ -9,11 +9,11 @@ bypasses the cost comparison to sweep the cache/comm ratio (Figure 11).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.costmodel.partitioner import partition_dependencies
+from repro.costmodel.partitioner import DependencyPartition, partition_dependencies
 from repro.costmodel.probe import probe_constants
 from repro.engines.base import BaseEngine, HOST_MEMORY_BYTES
 
@@ -38,12 +38,23 @@ class HybridEngine(BaseEngine):
         if force_cache_fraction is not None and not 0 <= force_cache_fraction <= 1:
             raise ValueError("force_cache_fraction must be in [0, 1]")
         self.force_cache_fraction = force_cache_fraction
+        # Latest Algorithm-4 result per worker: online re-planning warm
+        # starts the greedy from these instead of re-measuring every
+        # subtree from scratch.
+        self._dep_partitions: Dict[int, DependencyPartition] = {}
+
+    def _spawn_kwargs(self):
+        kwargs = super()._spawn_kwargs()
+        kwargs["force_cache_fraction"] = self.force_cache_fraction
+        return kwargs
 
     def decide_dependencies(
         self, worker: int
     ) -> Tuple[List[np.ndarray], List[np.ndarray], List[np.ndarray], float]:
-        if self.constants is None:
+        constants = self._constants_for(worker)
+        if constants is None:
             self.constants = probe_constants(self.cluster, self.model)
+            constants = self.constants
         budget = self.memory_limit_bytes
         if budget is None:
             budget = int(HOST_MEMORY_BYTES * _DEFAULT_CACHE_BUDGET_FRACTION)
@@ -52,11 +63,13 @@ class HybridEngine(BaseEngine):
             self.partitioning,
             worker,
             self.dims,
-            self.constants,
+            constants,
             memory_limit_bytes=budget,
             mu=self.mu,
             force_cache_fraction=self.force_cache_fraction,
             cache=self.cache_config,
+            warm_start=self._dep_partitions.get(worker),
         )
+        self._dep_partitions[worker] = result
         prep = result.modeled_seconds + _PROBE_SECONDS
         return result.cached, result.communicated, result.stale_cached, prep

@@ -6,7 +6,9 @@ from repro.partition.hashing import hash_partition
 from repro.partition.fennel import fennel_partition
 from repro.partition.metis_like import metis_like_partition
 from repro.partition.vertex_cut import (
+    ReassignmentPlan,
     VertexCut,
+    absorb_partition,
     destination_vertex_cut,
     greedy_vertex_cut,
 )
@@ -35,6 +37,8 @@ __all__ = [
     "fennel_partition",
     "metis_like_partition",
     "VertexCut",
+    "ReassignmentPlan",
+    "absorb_partition",
     "greedy_vertex_cut",
     "destination_vertex_cut",
     "get_partitioner",

@@ -9,6 +9,12 @@ lost messages are retransmitted with timeout + exponential backoff
 rollback-restart under a :class:`RecoveryPolicy` (:mod:`.recovery`,
 executed by :class:`repro.training.resilient.ResilientTrainer`); and
 the chaos harness (:mod:`.chaos`) measures the damage per engine.
+
+Two elastic extensions: when no replacement can be provisioned the
+survivors absorb the dead worker's partition and training continues on
+the smaller cluster (:mod:`.elastic`); and a health monitor re-estimates
+the cost-model constants from observed timings and re-plans the
+DepCache/DepComm split online when they drift (:mod:`.health`).
 """
 
 from repro.resilience.faults import (
@@ -23,6 +29,13 @@ from repro.resilience.retry import RetryPolicy
 from repro.resilience.injector import FaultInjector, TransferPlan
 from repro.resilience.recovery import RecoveryEvent, RecoveryPolicy
 from repro.resilience.chaos import ChaosReport, run_chaos
+from repro.resilience.elastic import (
+    MigrationReport,
+    ShrinkRecord,
+    rejoin_engine,
+    shrink_engine,
+)
+from repro.resilience.health import ClusterHealthMonitor, run_replan_sweep
 
 __all__ = [
     "FaultSchedule",
@@ -38,4 +51,10 @@ __all__ = [
     "RecoveryEvent",
     "ChaosReport",
     "run_chaos",
+    "MigrationReport",
+    "ShrinkRecord",
+    "shrink_engine",
+    "rejoin_engine",
+    "ClusterHealthMonitor",
+    "run_replan_sweep",
 ]

@@ -12,18 +12,24 @@ checkpoint-rollback recoveries.  Two modes:
   run with real loss numerics; crashes roll model + optimizer back to
   the last checkpoint.
 
+The recovery *strategy* comes from the policy (or the ``recovery``
+shorthand): ``restart`` provisions a replacement and replays,
+``shrink`` absorbs the dead partition into the survivors
+(:mod:`repro.resilience.elastic`), ``auto`` picks per crash.
+
 The harness backs the ``repro chaos`` CLI subcommand and
-``benchmarks/bench_chaos_resilience.py``.
+``benchmarks/bench_chaos_resilience.py`` / ``bench_elastic.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable, List, Optional
 
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.timeline import IDLE
 from repro.comm.scheduler import CommOptions
+from repro.resilience.elastic import ShrinkRecord, rejoin_engine, shrink_engine
 from repro.resilience.faults import FaultSchedule, WorkerCrashError
 from repro.resilience.recovery import RecoveryEvent, RecoveryPolicy
 from repro.resilience.retry import RetryPolicy
@@ -45,6 +51,8 @@ class ChaosReport:
     idle_s: float
     recoveries: List[RecoveryEvent] = field(default_factory=list)
     final_loss: float = float("nan")
+    strategy: str = "restart"
+    num_workers_final: int = 0
 
     @property
     def faulty_epoch_s(self) -> float:
@@ -70,6 +78,24 @@ class ChaosReport:
             return 0.0
         return self.idle_s / denom
 
+    def to_dict(self) -> dict:
+        """JSON-ready view (recovery events become plain dicts)."""
+        payload = asdict(self)
+        payload["faulty_epoch_s"] = self.faulty_epoch_s
+        payload["degradation"] = self.degradation
+        payload["total_recovery_s"] = self.total_recovery_s
+        payload["idle_fraction"] = self.idle_fraction
+        return payload
+
+
+def _drain_stats(engine, acc: dict) -> None:
+    """Fold a retiring engine's retry/idle stats into the accumulator."""
+    injector = engine.faults
+    if injector is not None:
+        acc["retries"] += injector.total_retries
+        acc["retry_wait_s"] += injector.total_retry_s
+    acc["idle_s"] += float(engine.timeline.totals[IDLE].mean())
+
 
 def run_chaos(
     engine_name: str,
@@ -84,6 +110,7 @@ def run_chaos(
     mode: str = "timing",
     optimizer: str = "adam",
     lr: float = 0.01,
+    recovery: Optional[str] = None,
     **engine_kwargs,
 ) -> ChaosReport:
     """Run ``epochs`` epochs of ``engine_name`` under ``schedule``.
@@ -92,6 +119,8 @@ def run_chaos(
     baseline and the faulty run each get one, so the comparison starts
     from identical weights).  The ``schedule`` is consumed by the faulty
     run -- its crash bookkeeping mutates -- so pass a fresh one per call.
+    ``recovery`` is shorthand for overriding the policy's strategy
+    (``restart`` | ``shrink`` | ``auto``).
     """
     # Engines sit *above* resilience in the layering; import lazily.
     from repro.engines import make_engine
@@ -101,6 +130,8 @@ def run_chaos(
     if epochs < 1:
         raise ValueError("epochs must be positive")
     policy = policy or RecoveryPolicy()
+    if recovery is not None:
+        policy = policy.with_strategy(recovery)
 
     clean_engine = make_engine(
         engine_name, graph, model_factory(), cluster.healthy(),
@@ -116,32 +147,74 @@ def run_chaos(
 
     recoveries: List[RecoveryEvent] = []
     final_loss = float("nan")
+    acc = {"retries": 0, "retry_wait_s": 0.0, "idle_s": 0.0}
     if mode == "timing":
         completed = 0
         last_checkpoint = 0
+        crash_count = 0
+        shrink_records: List[ShrinkRecord] = []
+        epochs_since_shrink = 0
         while completed < epochs:
             try:
                 engine.charge_epoch()
             except WorkerCrashError as crash:
-                if len(recoveries) >= policy.max_recoveries:
+                if crash_count >= policy.max_recoveries:
                     raise
-                recovery_s, refetch = engine.recover_from_crash(
-                    crash, provision_s=policy.provision_s
-                )
+                crash_count += 1
+                fault = crash.fault
+                if (
+                    policy.should_shrink(fault.permanent)
+                    and engine.cluster.num_workers >= 2
+                ):
+                    _drain_stats(engine, acc)
+                    engine, record, report = shrink_engine(engine, crash)
+                    shrink_records.append(record)
+                    epochs_since_shrink = 0
+                    recovery_s = report.seconds
+                    refetch = report.migrated_bytes + report.closure_bytes
+                    strategy = "shrink"
+                else:
+                    recovery_s, refetch = engine.recover_from_crash(
+                        crash, provision_s=policy.provision_s
+                    )
+                    strategy = "restart"
                 recoveries.append(
                     RecoveryEvent(
                         epoch=completed + 1,
-                        worker=crash.fault.worker,
+                        worker=fault.worker,
                         detected_at_s=crash.detected_at_s,
                         recovery_s=recovery_s,
                         refetch_bytes=refetch,
                         rolled_back_to_epoch=last_checkpoint,
+                        strategy=strategy,
+                        num_workers_after=engine.cluster.num_workers,
                     )
                 )
                 engine.rollback_to_epoch(last_checkpoint)
                 completed = last_checkpoint
                 continue
             completed += 1
+            if shrink_records and policy.rejoin_after_epochs is not None:
+                epochs_since_shrink += 1
+                if epochs_since_shrink >= policy.rejoin_after_epochs:
+                    record = shrink_records.pop()
+                    epochs_since_shrink = 0
+                    _drain_stats(engine, acc)
+                    engine, report = rejoin_engine(
+                        engine, record, provision_s=policy.provision_s
+                    )
+                    recoveries.append(
+                        RecoveryEvent(
+                            epoch=completed,
+                            worker=record.crash.worker,
+                            detected_at_s=engine.timeline.makespan,
+                            recovery_s=report.seconds,
+                            refetch_bytes=report.migrated_bytes,
+                            rolled_back_to_epoch=completed,
+                            strategy="rejoin",
+                            num_workers_after=engine.cluster.num_workers,
+                        )
+                    )
             if completed % policy.checkpoint_every == 0:
                 last_checkpoint = completed
     else:
@@ -153,20 +226,21 @@ def run_chaos(
         history = trainer.train(epochs)
         recoveries = trainer.recoveries
         final_loss = history.final_loss
+        engine = trainer.engine  # may have been reshaped by shrink/rejoin
 
+    _drain_stats(engine, acc)
     timeline = engine.timeline
-    injector = engine.faults
     return ChaosReport(
         engine=engine_name,
         mode=mode,
         epochs=epochs,
         clean_epoch_s=clean_epoch_s,
         makespan_s=timeline.makespan,
-        retries=injector.total_retries if injector is not None else 0,
-        retry_wait_s=(
-            injector.total_retry_s if injector is not None else 0.0
-        ),
-        idle_s=float(timeline.totals[IDLE].mean()),
+        retries=acc["retries"],
+        retry_wait_s=acc["retry_wait_s"],
+        idle_s=acc["idle_s"],
         recoveries=recoveries,
         final_loss=final_loss,
+        strategy=policy.strategy,
+        num_workers_final=engine.cluster.num_workers,
     )

@@ -28,8 +28,8 @@ at all** -- the resilience layer is zero-cost when disabled.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple
 
 INFINITY = math.inf
 
@@ -136,11 +136,18 @@ class WorkerCrashFault:
     reaches ``at_time``; all surviving workers then block for
     ``detection_timeout_s`` (the failure detector's timeout) before the
     engine raises :class:`WorkerCrashError`.
+
+    ``permanent`` marks a crash no replacement can be provisioned for
+    (spot reclamation, hardware loss): the ``auto`` recovery strategy
+    then shrinks the cluster (survivors absorb the partition, see
+    :mod:`repro.resilience.elastic`) instead of waiting for a
+    rollback-restart re-provision.
     """
 
     worker: int
     at_time: float
     detection_timeout_s: float = 0.05
+    permanent: bool = False
 
     def __post_init__(self):
         if self.at_time < 0:
@@ -273,3 +280,40 @@ class FaultSchedule:
 
     def recovered(self, fault: WorkerCrashFault) -> bool:
         return fault in self._recovered
+
+    # -- elastic membership --------------------------------------------
+    def remap_workers(self, worker_map: Dict[int, int]) -> "FaultSchedule":
+        """The schedule as a renumbered cluster sees it (elastic shrink).
+
+        ``worker_map`` maps surviving old worker ids to their new ids;
+        faults pinned to a dropped worker vanish (its straggler dies
+        with it, its pending crash is moot), link faults keep wildcard
+        (``None``) endpoints, and recovered-crash bookkeeping carries
+        over for retained faults.  Fault windows are absolute simulated
+        times and the reshaped engine's clock continues from the shrink
+        point, so windows need no translation.
+        """
+        remapped: List = []
+        recovered: List[WorkerCrashFault] = []
+        for fault in self.faults:
+            if isinstance(fault, (StragglerFault, WorkerCrashFault)):
+                if fault.worker not in worker_map:
+                    continue
+                new = replace(fault, worker=worker_map[fault.worker])
+                if isinstance(new, WorkerCrashFault) and self.recovered(fault):
+                    recovered.append(new)
+                remapped.append(new)
+            else:  # link-scoped faults: both endpoints must survive
+                if fault.src is not None and fault.src not in worker_map:
+                    continue
+                if fault.dst is not None and fault.dst not in worker_map:
+                    continue
+                remapped.append(replace(
+                    fault,
+                    src=None if fault.src is None else worker_map[fault.src],
+                    dst=None if fault.dst is None else worker_map[fault.dst],
+                ))
+        schedule = FaultSchedule(remapped, seed=self.seed)
+        for fault in recovered:
+            schedule.mark_recovered(fault)
+        return schedule

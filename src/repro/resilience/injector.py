@@ -21,6 +21,11 @@ from repro.cluster.network import NetworkProfile
 from repro.resilience.faults import FaultSchedule
 from repro.resilience.retry import RetryPolicy
 
+# Attempt-index salt separating backoff-jitter draws from drop draws in
+# the shared (seed, phase, src, dst, attempt) stream; far above any real
+# attempt count, so the two never collide.
+_JITTER_ATTEMPT_SALT = 1 << 20
+
 
 @dataclass(frozen=True)
 class TransferPlan:
@@ -147,7 +152,15 @@ class FaultInjector:
             for k in range(retry.max_attempts - 1):
                 if self.draw(phase, src, dst, k) >= p:
                     break  # delivered on attempt k
-                wait += retry.timeout_s + retry.backoff_s(k)
+                if retry.jitter > 0.0:
+                    # Salted attempt index keeps the jitter draws out of
+                    # the drop-decision stream; jitter == 0 draws
+                    # nothing, leaving old traces bit-identical.
+                    u = self.draw(phase, src, dst, _JITTER_ATTEMPT_SALT + k)
+                    backoff = retry.jittered_backoff_s(k, u)
+                else:
+                    backoff = retry.backoff_s(k)
+                wait += retry.timeout_s + backoff
                 attempts += 1
         plan = TransferPlan(wire_s=wire, attempts=attempts, wait_s=wait)
         if plan.retries:

@@ -9,11 +9,32 @@ must rebuild its large replicated closures, DepComm only re-registers
 mirrors -- and training replays from the last checkpoint.  Because the
 optimizer state is checkpointed too, the replayed trajectory is
 bit-identical to the uninterrupted one; only the modeled clock differs.
+
+Two alternatives to plain restart exist (``strategy``):
+
+- ``"shrink"`` -- never wait for a replacement: the survivors absorb
+  the dead worker's partition (:mod:`repro.resilience.elastic`) and
+  training continues on the (N-1)-worker cluster.
+- ``"auto"`` -- shrink when the crash is *permanent* (no replacement
+  can exist) or when ``provision_s`` exceeds ``provision_deadline_s``
+  (a replacement is too slow to be worth waiting for); restart
+  otherwise.
+
+:meth:`RecoveryPolicy.auto` tunes ``checkpoint_every`` from the fault
+schedule's crash rate with the Young/Daly optimal-checkpoint-interval
+formula ``W_opt = sqrt(2 * C * MTBF)``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # avoid importing faults at runtime for a type hint
+    from repro.resilience.faults import FaultSchedule
+
+_STRATEGIES = ("restart", "shrink", "auto")
 
 
 @dataclass(frozen=True)
@@ -31,11 +52,27 @@ class RecoveryPolicy:
     max_recoveries:
         Abort (re-raise) after this many recoveries in one run, so a
         pathological schedule cannot loop forever.
+    strategy:
+        ``"restart"`` (provision a replacement, the PR-1 behavior),
+        ``"shrink"`` (survivors absorb the dead partition), or
+        ``"auto"`` (shrink for permanent crashes or when provisioning
+        blows ``provision_deadline_s``; restart otherwise).
+    provision_deadline_s:
+        Under ``"auto"``, shrink instead of restarting when
+        ``provision_s`` exceeds this; ``None`` means only *permanent*
+        crashes shrink.
+    rejoin_after_epochs:
+        After a shrink, grow back to the original cluster once this
+        many epochs completed on the shrunk cluster (models the
+        replacement finally arriving); ``None`` never rejoins.
     """
 
     checkpoint_every: int = 5
     provision_s: float = 0.05
     max_recoveries: int = 8
+    strategy: str = "restart"
+    provision_deadline_s: Optional[float] = None
+    rejoin_after_epochs: Optional[int] = None
 
     def __post_init__(self):
         if self.checkpoint_every < 1:
@@ -44,11 +81,85 @@ class RecoveryPolicy:
             raise ValueError("provision_s must be >= 0")
         if self.max_recoveries < 0:
             raise ValueError("max_recoveries must be >= 0")
+        if self.strategy not in _STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {_STRATEGIES}, got {self.strategy!r}"
+            )
+        if self.provision_deadline_s is not None and self.provision_deadline_s < 0:
+            raise ValueError("provision_deadline_s must be >= 0")
+        if self.rejoin_after_epochs is not None and self.rejoin_after_epochs < 1:
+            raise ValueError("rejoin_after_epochs must be >= 1")
+
+    # ------------------------------------------------------------------
+    def should_shrink(self, permanent: bool) -> bool:
+        """Whether this crash is handled by shrinking the cluster."""
+        if self.strategy == "shrink":
+            return True
+        if self.strategy == "auto":
+            if permanent:
+                return True
+            return (
+                self.provision_deadline_s is not None
+                and self.provision_s > self.provision_deadline_s
+            )
+        return False
+
+    @classmethod
+    def auto(
+        cls,
+        schedule: "FaultSchedule",
+        epoch_cost_s: float,
+        checkpoint_cost_s: Optional[float] = None,
+        horizon_s: Optional[float] = None,
+        **overrides,
+    ) -> "RecoveryPolicy":
+        """Tune ``checkpoint_every`` to the schedule's crash rate.
+
+        Young/Daly: the optimal work between checkpoints is
+        ``W_opt = sqrt(2 * C * MTBF)`` where ``C`` is the checkpoint
+        cost and MTBF the mean time between failures.  MTBF is
+        estimated as ``horizon_s / num_crashes`` (``horizon_s``
+        defaults to the last crash time, floored at one epoch);
+        ``checkpoint_cost_s`` defaults to a tenth of an epoch (the
+        snapshot is host-memory-bound, much cheaper than an epoch).
+        ``overrides`` pass through to the policy, and an explicit
+        ``checkpoint_every`` override wins over the tuned value.
+        """
+        if epoch_cost_s <= 0:
+            raise ValueError("epoch_cost_s must be positive")
+        if checkpoint_cost_s is None:
+            checkpoint_cost_s = 0.1 * epoch_cost_s
+        if checkpoint_cost_s <= 0:
+            raise ValueError("checkpoint_cost_s must be positive")
+        crashes = schedule.crashes() if schedule else []
+        if "checkpoint_every" in overrides:
+            return cls(**overrides)
+        if not crashes:
+            # No crashes expected: checkpoint rarely (cap, not never --
+            # surprises outside the schedule should not lose everything).
+            return cls(checkpoint_every=50, **overrides)
+        if horizon_s is None:
+            horizon_s = max(max(c.at_time for c in crashes), epoch_cost_s)
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        mtbf_s = horizon_s / len(crashes)
+        w_opt_s = math.sqrt(2.0 * checkpoint_cost_s * mtbf_s)
+        checkpoint_every = max(1, int(round(w_opt_s / epoch_cost_s)))
+        return cls(checkpoint_every=checkpoint_every, **overrides)
+
+    def with_strategy(self, strategy: str) -> "RecoveryPolicy":
+        return replace(self, strategy=strategy)
 
 
 @dataclass(frozen=True)
 class RecoveryEvent:
-    """One crash-and-recover episode, as the chaos report shows it."""
+    """One crash-and-recover episode, as the chaos report shows it.
+
+    ``strategy`` records how this particular crash was handled
+    (``"restart"``, ``"shrink"``, or ``"rejoin"`` for the grow-back
+    step); ``num_workers_after`` is the cluster size training continued
+    with.
+    """
 
     epoch: int  # epoch that was executing when the crash was detected
     worker: int
@@ -56,3 +167,5 @@ class RecoveryEvent:
     recovery_s: float  # provision + state re-transfer + replan
     refetch_bytes: int  # dependency state moved to the replacement
     rolled_back_to_epoch: int  # training resumes after this epoch
+    strategy: str = "restart"
+    num_workers_after: int = 0

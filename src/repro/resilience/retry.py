@@ -31,12 +31,22 @@ class RetryPolicy:
         Retransmissions after the first attempt.  The final attempt is
         modeled as delivered (a reliable-fallback path), so a transfer
         never hangs forever; the pain is the accumulated waiting.
+    jitter:
+        Fraction of each backoff randomised away so simultaneous drops
+        on many links do not retry in lockstep (the classic
+        full-jitter-style decorrelation).  The effective backoff is
+        ``backoff * (1 - jitter * u)`` with ``u`` drawn from the same
+        seeded ``(seed, phase, src, dst, attempt)`` stream as the drop
+        decisions, so jittered runs replay bit-identically.  The
+        default ``0.0`` draws nothing at all, keeping pre-jitter traces
+        bit-identical.
     """
 
     timeout_s: float = 5.0e-4
     backoff_base_s: float = 1.0e-4
     backoff_factor: float = 2.0
     max_retries: int = 5
+    jitter: float = 0.0
 
     def __post_init__(self):
         if self.timeout_s < 0 or self.backoff_base_s < 0:
@@ -45,10 +55,16 @@ class RetryPolicy:
             raise ValueError("backoff_factor must be >= 1")
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
 
     def backoff_s(self, attempt: int) -> float:
         """Backoff slept before retransmission number ``attempt + 1``."""
         return self.backoff_base_s * self.backoff_factor**attempt
+
+    def jittered_backoff_s(self, attempt: int, u: float) -> float:
+        """Backoff with the jitter fraction scaled by draw ``u`` in [0, 1)."""
+        return self.backoff_s(attempt) * (1.0 - self.jitter * u)
 
     @property
     def max_attempts(self) -> int:

@@ -14,6 +14,21 @@ recovery discipline described in :mod:`repro.resilience.recovery`:
 3. the epochs since that checkpoint are replayed.  Because optimizer
    state is checkpointed, the replayed trajectory is bit-identical to
    an uninterrupted run; only the modeled clock shows the damage.
+
+Under ``policy.strategy`` ``"shrink"`` (or ``"auto"`` with a permanent
+crash / blown provisioning deadline) the trainer instead swaps the
+engine for a reshaped (N-1)-worker one via
+:func:`repro.resilience.elastic.shrink_engine` -- the model object is
+shared, so the bound optimizer survives -- and training resumes from
+the checkpoint on the smaller cluster, bit-identically to a healthy run
+of that reshaped cluster from the same state.  With
+``policy.rejoin_after_epochs`` set, the departed worker grows back in
+after that many shrunk epochs (:func:`rejoin_engine`, no rollback).
+
+An optional :class:`repro.resilience.health.ClusterHealthMonitor`
+closes the online re-planning loop: it watches per-worker timeline
+deltas each epoch and re-runs Algorithm 4 with scaled constants when
+the estimates drift.
 """
 
 from __future__ import annotations
@@ -23,7 +38,9 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.resilience.elastic import ShrinkRecord, rejoin_engine, shrink_engine
 from repro.resilience.faults import WorkerCrashError
+from repro.resilience.health import ClusterHealthMonitor
 from repro.resilience.recovery import RecoveryEvent, RecoveryPolicy
 from repro.training.checkpoint import save_checkpoint
 from repro.training.trainer import (
@@ -51,6 +68,12 @@ class ResilientTrainer(DistributedTrainer):
         Optional directory; when given, every snapshot is also written
         as ``epoch_NNNN.npz`` (with optimizer state) via
         :func:`repro.training.checkpoint.save_checkpoint`.
+    health_monitor:
+        Optional :class:`ClusterHealthMonitor`; when given, the trainer
+        observes the timeline each epoch and re-plans the engine when
+        the monitor reports drift (online re-planning).  ``None`` (the
+        default) keeps the plan frozen -- bit-identical to pre-elastic
+        behavior.
     """
 
     def __init__(
@@ -58,16 +81,27 @@ class ResilientTrainer(DistributedTrainer):
         engine,
         policy: Optional[RecoveryPolicy] = None,
         checkpoint_dir: Optional[Union[str, Path]] = None,
+        health_monitor: Optional[ClusterHealthMonitor] = None,
         **kwargs,
     ):
         super().__init__(engine, **kwargs)
         self.policy = policy or RecoveryPolicy()
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.health_monitor = health_monitor
         self.recoveries: List[RecoveryEvent] = []
+        self.replans = 0
+        self._crash_count = 0
+        self._shrink_stack: List[ShrinkRecord] = []
+        self._epochs_since_shrink = 0
 
     @property
     def total_recovery_s(self) -> float:
         return sum(e.recovery_s for e in self.recoveries)
+
+    @property
+    def num_workers(self) -> int:
+        """Current cluster size (changes across shrink/rejoin)."""
+        return self.engine.cluster.num_workers
 
     # ------------------------------------------------------------------
     def _snapshot(self, epoch: int) -> _Snapshot:
@@ -100,11 +134,27 @@ class ResilientTrainer(DistributedTrainer):
         history: TrainingHistory,
     ) -> int:
         """Recover, roll back, and return the epoch to resume from."""
-        if len(self.recoveries) >= self.policy.max_recoveries:
+        if self._crash_count >= self.policy.max_recoveries:
             raise crash
-        recovery_s, refetch = self.engine.recover_from_crash(
-            crash, provision_s=self.policy.provision_s
+        self._crash_count += 1
+        fault = crash.fault
+        shrink = (
+            self.policy.should_shrink(fault.permanent)
+            and self.engine.cluster.num_workers >= 2
         )
+        if shrink:
+            new_engine, record, report = shrink_engine(self.engine, crash)
+            self._shrink_stack.append(record)
+            self._epochs_since_shrink = 0
+            self.engine = new_engine
+            recovery_s = report.seconds
+            refetch = report.migrated_bytes + report.closure_bytes
+            strategy = "shrink"
+        else:
+            recovery_s, refetch = self.engine.recover_from_crash(
+                crash, provision_s=self.policy.provision_s
+            )
+            strategy = "restart"
         ckpt_epoch = self._restore(snapshot)
         # The epochs past the checkpoint will be replayed; drop their
         # records so the history reflects one consistent trajectory.
@@ -115,14 +165,62 @@ class ResilientTrainer(DistributedTrainer):
         self.recoveries.append(
             RecoveryEvent(
                 epoch=epoch,
-                worker=crash.fault.worker,
+                worker=fault.worker,
                 detected_at_s=crash.detected_at_s,
                 recovery_s=recovery_s,
                 refetch_bytes=refetch,
                 rolled_back_to_epoch=ckpt_epoch,
+                strategy=strategy,
+                num_workers_after=self.engine.cluster.num_workers,
             )
         )
         return ckpt_epoch + 1
+
+    def _maybe_rejoin(self, epoch: int) -> None:
+        """Grow back to the pre-shrink cluster when the policy says so."""
+        if not self._shrink_stack or self.policy.rejoin_after_epochs is None:
+            return
+        self._epochs_since_shrink += 1
+        if self._epochs_since_shrink < self.policy.rejoin_after_epochs:
+            return
+        record = self._shrink_stack.pop()
+        self._epochs_since_shrink = 0
+        new_engine, report = rejoin_engine(
+            self.engine, record, provision_s=self.policy.provision_s
+        )
+        self.engine = new_engine
+        self.recoveries.append(
+            RecoveryEvent(
+                epoch=epoch,
+                worker=record.crash.worker,
+                detected_at_s=self.engine.timeline.makespan,
+                recovery_s=report.seconds,
+                refetch_bytes=report.migrated_bytes,
+                rolled_back_to_epoch=epoch,  # no rollback: model is current
+                strategy="rejoin",
+                num_workers_after=self.engine.cluster.num_workers,
+            )
+        )
+
+    def _observe_health(self) -> None:
+        """Feed the health monitor; re-plan when it reports drift."""
+        monitor = self.health_monitor
+        if monitor is None:
+            return
+        timeline = self.engine.timeline
+        if monitor.num_workers != timeline.num_workers:
+            # Cluster was reshaped since the last observation; restart
+            # the estimator at the new size.
+            monitor = ClusterHealthMonitor(
+                timeline.num_workers,
+                alpha=monitor.alpha,
+                drift_threshold=monitor.drift_threshold,
+                min_observations=monitor.min_observations,
+            )
+            self.health_monitor = monitor
+        monitor.observe(timeline)
+        if monitor.maybe_replan(self.engine):
+            self.replans += 1
 
     # ------------------------------------------------------------------
     def train(
@@ -145,8 +243,7 @@ class ResilientTrainer(DistributedTrainer):
         if patience is not None and patience < 1:
             raise ValueError("patience must be positive")
         history = TrainingHistory(engine_name=self.engine.name)
-        timeline = self.engine.timeline
-        t_origin = timeline.makespan
+        t_origin = self.engine.timeline.makespan
         snapshot = self._snapshot(0)
         best_accuracy = -1.0
         stale_evals = 0
@@ -161,11 +258,13 @@ class ResilientTrainer(DistributedTrainer):
                 epoch = self._handle_crash(crash, epoch, snapshot, history)
                 continue
             history.reports.append(report)
+            self._maybe_rejoin(epoch)
+            self._observe_health()
             if accuracy is not None:
                 history.convergence.append(
                     ConvergencePoint(
                         epoch=epoch,
-                        time_s=timeline.makespan - t_origin,
+                        time_s=self.engine.timeline.makespan - t_origin,
                         accuracy=accuracy,
                         loss=report.loss,
                     )

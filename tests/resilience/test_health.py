@@ -1,0 +1,266 @@
+"""Health monitoring, drift detection, and online re-planning."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.cluster.timeline import CPU, GPU, NET_RECV, Timeline
+from repro.core.model import GNNModel
+from repro.costmodel.partitioner import partition_dependencies
+from repro.engines import make_engine
+from repro.partition import get_partitioner
+from repro.resilience import (
+    ClusterHealthMonitor,
+    FaultSchedule,
+    StragglerFault,
+    run_replan_sweep,
+)
+from repro.training import ResilientTrainer
+
+
+def build(graph, cluster, engine_name="hybrid", faults=None, seed=7):
+    model = GNNModel.build(
+        "gcn", graph.feature_dim, 12, graph.num_classes, seed=seed
+    )
+    if faults is not None:
+        cluster = cluster.with_faults(faults)
+    return make_engine(engine_name, graph, model, cluster)
+
+
+def feed(monitor, num_workers, compute_rows, comm_rows=None):
+    """Feed synthetic cumulative per-epoch totals into the monitor."""
+    timeline = Timeline(num_workers, record=True)
+    compute_total = np.zeros(num_workers)
+    comm_total = np.zeros(num_workers)
+    for i, compute in enumerate(compute_rows):
+        compute_total = compute_total + np.asarray(compute, dtype=float)
+        if comm_rows is not None:
+            comm_total = comm_total + np.asarray(comm_rows[i], dtype=float)
+        timeline.totals[GPU][:] = compute_total
+        timeline.totals[CPU][:] = 0.0
+        timeline.totals[NET_RECV][:] = comm_total
+        monitor.observe(timeline)
+
+
+class TestMonitorEstimates:
+    def test_uniform_cluster_stays_at_one(self):
+        monitor = ClusterHealthMonitor(4)
+        feed(monitor, 4, [[1.0, 1.0, 1.0, 1.0]] * 4)
+        np.testing.assert_allclose(monitor.compute_factors, 1.0)
+        assert not monitor.drifted()
+
+    def test_straggler_stands_out_from_the_median(self):
+        monitor = ClusterHealthMonitor(4, alpha=0.5)
+        feed(monitor, 4, [[4.0, 1.0, 1.0, 1.0]] * 5)
+        assert monitor.compute_factors[0] > 2.0
+        assert np.all(monitor.compute_factors[1:] <= 1.001)
+        assert monitor.drifted()
+
+    def test_comm_and_compute_tracked_separately(self):
+        monitor = ClusterHealthMonitor(2, alpha=1.0, drift_threshold=0.2)
+        feed(monitor, 2, [[1.0, 1.0]] * 3, comm_rows=[[3.0, 1.0]] * 3)
+        np.testing.assert_allclose(monitor.compute_factors, 1.0)
+        assert monitor.comm_factors[0] > 1.2
+        assert monitor.drifted()
+
+    def test_first_observation_only_baselines(self):
+        monitor = ClusterHealthMonitor(2)
+        feed(monitor, 2, [[5.0, 1.0]])
+        assert monitor.observations == 0
+        np.testing.assert_allclose(monitor.compute_factors, 1.0)
+
+    def test_min_observations_damps_drift(self):
+        monitor = ClusterHealthMonitor(2, alpha=1.0, min_observations=3)
+        feed(monitor, 2, [[9.0, 1.0]] * 3)  # 2 folded observations
+        assert not monitor.drifted()
+        feed(monitor, 2, [[9.0, 1.0]] * 2)
+        assert monitor.drifted()
+
+    def test_mark_replanned_reanchors(self):
+        monitor = ClusterHealthMonitor(2, alpha=1.0)
+        feed(monitor, 2, [[6.0, 1.0]] * 4)
+        assert monitor.drifted()
+        monitor.mark_replanned()
+        assert not monitor.drifted()
+        # A stable (if degraded) cluster does not re-trigger.
+        feed(monitor, 2, [[6.0, 1.0]] * 4)
+        assert not monitor.drifted()
+
+    def test_rejects_wrong_timeline_size(self):
+        monitor = ClusterHealthMonitor(4)
+        with pytest.raises(ValueError):
+            monitor.observe(Timeline(2, record=True))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterHealthMonitor(0)
+        with pytest.raises(ValueError):
+            ClusterHealthMonitor(2, alpha=0.0)
+        with pytest.raises(ValueError):
+            ClusterHealthMonitor(2, drift_threshold=0.0)
+
+
+class TestWorkerConstants:
+    def test_scales_only_unhealthy_workers(self, small_graph, cluster2):
+        engine = build(small_graph, cluster2)
+        engine.plan()
+        base = engine.constants
+        monitor = ClusterHealthMonitor(2, alpha=1.0)
+        feed(monitor, 2, [[3.0, 1.0]] * 3)
+        overrides = monitor.worker_constants(base)
+        assert 0 in overrides
+        factor = float(monitor.compute_factors[0])
+        assert overrides[0].t_v == pytest.approx(base.t_v * factor)
+        assert overrides[0].t_e == pytest.approx(base.t_e * factor)
+        # Comm stayed healthy, so t_c is untouched for worker 0 ...
+        assert overrides[0].t_c == pytest.approx(
+            base.t_c * float(monitor.comm_factors[0])
+        )
+
+    def test_healthy_workers_get_no_override(self):
+        monitor = ClusterHealthMonitor(3)
+        base = None
+        # All factors at 1.0: nothing to override, regardless of base.
+        assert monitor.worker_constants(base) == {}
+
+
+class TestReplan:
+    def test_replan_without_overrides_keeps_decisions(
+        self, small_graph, cluster2
+    ):
+        engine = build(small_graph, cluster2)
+        plan_before = engine.plan()
+        cached_before = {
+            w: [a.copy() for a in p.cached]
+            for w, p in engine._dep_partitions.items()
+        }
+        engine.replan()
+        plan_after = engine.plan()
+        assert plan_after.cache_ratio() == plan_before.cache_ratio()
+        for w, layers in cached_before.items():
+            for a, b in zip(layers, engine._dep_partitions[w].cached):
+                np.testing.assert_array_equal(a, b)
+
+    def test_replan_charges_preprocessing(self, small_graph, cluster2):
+        engine = build(small_graph, cluster2)
+        engine.plan()
+        t_before = engine.timeline.makespan
+        engine.replan()
+        assert engine.timeline.makespan > t_before
+
+    def test_override_shifts_decisions(self, small_graph, cluster2):
+        engine = build(small_graph, cluster2)
+        engine.plan()
+        base = engine.constants
+        cached_before = sum(
+            len(a) for p in engine._dep_partitions.values() for a in p.cached
+        )
+        # Worker 0's links crawl: caching must become more attractive.
+        slow_link = replace(
+            base,
+            t_c=base.t_c * 50,
+            t_c_layer=[t * 50 for t in base.t_c_layer],
+        )
+        engine.replan({0: slow_link})
+        cached_after = sum(
+            len(a) for p in engine._dep_partitions.values() for a in p.cached
+        )
+        assert cached_after > cached_before
+
+    def test_warm_start_skips_measurement_sweep(self, small_graph, cluster2):
+        engine = build(small_graph, cluster2)
+        engine.plan()
+        partitioning = get_partitioner("chunk")(small_graph, 2)
+        cold = partition_dependencies(
+            small_graph, partitioning, 0, engine.dims, engine.constants
+        )
+        warm = partition_dependencies(
+            small_graph, partitioning, 0, engine.dims, engine.constants,
+            warm_start=cold,
+        )
+        # Identical decisions, strictly fewer subtree measurements.
+        for a, b in zip(cold.cached, warm.cached):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(cold.communicated, warm.communicated):
+            np.testing.assert_array_equal(a, b)
+        assert warm.measured_evaluations < cold.measured_evaluations
+
+
+class TestTrainerIntegration:
+    def test_monitored_run_replans_and_keeps_numerics(
+        self, small_graph, cluster2
+    ):
+        """Re-planning changes the modeled schedule, not the math.
+
+        Moving a dependency between the cached and communicated sets
+        changes the fp32 reduction order, so the trajectories are equal
+        to float tolerance rather than bit-identical (bit-identity is
+        only promised with the monitor *disabled*).
+        """
+        baseline = build(small_graph, cluster2)
+        base_trainer = ResilientTrainer(baseline, lr=0.05)
+        base_trainer.train(6)
+        base_params = [p.data.copy() for p in baseline.model.parameters()]
+
+        faults = FaultSchedule([
+            StragglerFault(worker=0, gpu_factor=8.0, cpu_factor=8.0)
+        ])
+        engine = build(small_graph, cluster2, faults=faults)
+        trainer = ResilientTrainer(
+            engine, lr=0.05,
+            health_monitor=ClusterHealthMonitor(
+                2, alpha=0.8, drift_threshold=0.2
+            ),
+        )
+        trainer.train(6)
+        assert trainer.replans >= 1
+        for a, b in zip(base_params, engine.model.parameters()):
+            np.testing.assert_allclose(a, b.data, rtol=1e-4, atol=1e-6)
+
+    def test_monitor_resizes_after_shrink(self, small_graph, cluster4):
+        from repro.resilience import RecoveryPolicy, WorkerCrashFault
+
+        faults = FaultSchedule([
+            WorkerCrashFault(worker=1, at_time=0.0, permanent=True)
+        ])
+        engine = build(
+            small_graph, cluster4, engine_name="depcomm", faults=faults
+        )
+        trainer = ResilientTrainer(
+            engine, lr=0.05,
+            policy=RecoveryPolicy(checkpoint_every=2, strategy="shrink"),
+            health_monitor=ClusterHealthMonitor(4),
+        )
+        trainer.train(5)
+        assert trainer.num_workers == 3
+        assert trainer.health_monitor.num_workers == 3
+
+
+class TestReplanSweep:
+    def test_returns_complete_result(self, small_graph, cluster2):
+        def model_factory():
+            return GNNModel.build(
+                "gcn", small_graph.feature_dim, 12,
+                small_graph.num_classes, seed=7,
+            )
+
+        def schedule_factory():
+            return FaultSchedule([
+                StragglerFault(worker=0, gpu_factor=8.0, cpu_factor=8.0)
+            ])
+
+        result = run_replan_sweep(
+            "hybrid", small_graph, model_factory, cluster2,
+            schedule_factory, epochs=6, alpha=0.8, drift_threshold=0.15,
+        )
+        for key in (
+            "engine", "epochs", "static_makespan_s", "adaptive_makespan_s",
+            "speedup", "replans", "static_cache_ratio",
+            "adaptive_cache_ratio",
+        ):
+            assert key in result
+        assert result["engine"] == "hybrid"
+        assert result["static_makespan_s"] > 0
+        assert result["adaptive_makespan_s"] > 0
+        assert result["replans"] >= 1

@@ -1,0 +1,194 @@
+"""Recovery edge cases: back-to-back crashes, exhaustion, cache churn."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheConfig
+from repro.core.model import GNNModel
+from repro.engines import make_engine
+from repro.resilience import (
+    FaultSchedule,
+    RecoveryPolicy,
+    WorkerCrashError,
+    WorkerCrashFault,
+)
+from repro.training import DistributedTrainer, ResilientTrainer
+
+EPOCHS = 6
+
+
+def build(graph, cluster, engine_name="depcomm", faults=None, seed=7, **kwargs):
+    model = GNNModel.build(
+        "gcn", graph.feature_dim, 12, graph.num_classes, seed=seed
+    )
+    if faults is not None:
+        cluster = cluster.with_faults(faults)
+    return make_engine(engine_name, graph, model, cluster, **kwargs)
+
+
+def params_of(engine):
+    return [p.data.copy() for p in engine.model.parameters()]
+
+
+class TestBackToBackCrashes:
+    def test_second_crash_during_recovery_window(self, small_graph, cluster2):
+        """A crash inside the first crash's replay window also recovers,
+        and the twice-replayed trajectory still matches the clean run."""
+        clean_engine = build(small_graph, cluster2)
+        clean = DistributedTrainer(clean_engine, lr=0.05)
+        clean_history = clean.train(EPOCHS)
+        clean_params = params_of(clean_engine)
+        epoch_s = clean_history.avg_epoch_time_s
+
+        # First crash mid-epoch-3; the second fires while the trainer is
+        # still replaying the epochs the first one rolled back.
+        schedule = FaultSchedule([
+            WorkerCrashFault(worker=1, at_time=epoch_s * 2.5),
+            WorkerCrashFault(worker=0, at_time=epoch_s * 3.1),
+        ])
+        engine = build(small_graph, cluster2, faults=schedule)
+        trainer = ResilientTrainer(
+            engine, lr=0.05, policy=RecoveryPolicy(checkpoint_every=2)
+        )
+        history = trainer.train(EPOCHS)
+        assert len(trainer.recoveries) == 2
+        assert [e.worker for e in trainer.recoveries] == [1, 0]
+        assert len(history.reports) == EPOCHS
+        for a, b in zip(clean_params, params_of(engine)):
+            np.testing.assert_array_equal(a, b)
+
+    def test_max_recoveries_exhaustion_reraises(self, small_graph, cluster2):
+        schedule = FaultSchedule([
+            WorkerCrashFault(worker=1, at_time=0.0),
+            WorkerCrashFault(worker=0, at_time=0.001),
+        ])
+        engine = build(small_graph, cluster2, faults=schedule)
+        trainer = ResilientTrainer(
+            engine, lr=0.05,
+            policy=RecoveryPolicy(checkpoint_every=2, max_recoveries=1),
+        )
+        with pytest.raises(WorkerCrashError) as excinfo:
+            trainer.train(EPOCHS)
+        # The first crash recovered; the second re-raised cleanly with
+        # its own fault attached.
+        assert len(trainer.recoveries) == 1
+        assert excinfo.value.fault.worker == 0
+
+    def test_zero_max_recoveries_means_no_recovery(
+        self, small_graph, cluster2
+    ):
+        schedule = FaultSchedule([WorkerCrashFault(worker=1, at_time=0.0)])
+        engine = build(small_graph, cluster2, faults=schedule)
+        trainer = ResilientTrainer(
+            engine, lr=0.05,
+            policy=RecoveryPolicy(checkpoint_every=2, max_recoveries=0),
+        )
+        with pytest.raises(WorkerCrashError):
+            trainer.train(EPOCHS)
+        assert trainer.recoveries == []
+
+
+class TestCrashWithHistoricalCache:
+    def cache_engine(self, graph, cluster, faults=None):
+        return build(
+            graph, cluster, faults=faults,
+            cache_config=CacheConfig(tau=2),
+        )
+
+    def test_crash_between_refresh_epochs_recovers(
+        self, small_graph, cluster2
+    ):
+        """A crash landing while cached entries are mid-staleness (one
+        epoch past their refresh) rolls back and replays cleanly."""
+        clean_engine = self.cache_engine(small_graph, cluster2)
+        clean = DistributedTrainer(clean_engine, lr=0.05)
+        clean_history = clean.train(EPOCHS)
+        clean_params = params_of(clean_engine)
+        # tau=2 refreshes on even epochs; crash mid-epoch-4 (odd offset)
+        # so entries are one epoch stale when the rollback hits.
+        crash_t = clean_history.avg_epoch_time_s * 3.5
+
+        schedule = FaultSchedule([
+            WorkerCrashFault(worker=1, at_time=crash_t)
+        ])
+        engine = self.cache_engine(small_graph, cluster2, faults=schedule)
+        trainer = ResilientTrainer(
+            engine, lr=0.05, policy=RecoveryPolicy(checkpoint_every=2)
+        )
+        history = trainer.train(EPOCHS)
+        assert len(trainer.recoveries) == 1
+        assert np.isfinite(history.final_loss)
+        for a, b in zip(clean_params, params_of(engine)):
+            np.testing.assert_array_equal(a, b)
+
+    def test_shrink_with_cache_invalidates_and_continues(
+        self, small_graph, cluster4
+    ):
+        schedule = FaultSchedule([
+            WorkerCrashFault(worker=1, at_time=0.001, permanent=True)
+        ])
+        model = GNNModel.build(
+            "gcn", small_graph.feature_dim, 12,
+            small_graph.num_classes, seed=7,
+        )
+        engine = make_engine(
+            "depcomm", small_graph, model, cluster4.with_faults(schedule),
+            cache_config=CacheConfig(tau=2),
+        )
+        trainer = ResilientTrainer(
+            engine, lr=0.05,
+            policy=RecoveryPolicy(checkpoint_every=2, strategy="shrink"),
+        )
+        history = trainer.train(EPOCHS)
+        assert [e.strategy for e in trainer.recoveries] == ["shrink"]
+        assert trainer.num_workers == 3
+        assert np.isfinite(history.final_loss)
+        # The reshaped engine rebuilt its caches at the new size.
+        assert trainer.engine.cluster.num_workers == 3
+
+
+class TestYoungDaly:
+    def schedule(self, times):
+        return FaultSchedule([
+            WorkerCrashFault(worker=0, at_time=t) for t in times
+        ])
+
+    def test_formula(self):
+        # 2 crashes over a 8s horizon -> MTBF 4s; C = 0.02s (default
+        # 0.1 * epoch); W_opt = sqrt(2 * 0.02 * 4) = 0.4s = 2 epochs.
+        policy = RecoveryPolicy.auto(
+            self.schedule([5.0, 8.0]), epoch_cost_s=0.2
+        )
+        w_opt = math.sqrt(2 * 0.02 * 4.0)
+        assert policy.checkpoint_every == max(1, round(w_opt / 0.2))
+
+    def test_more_crashes_checkpoint_more_often(self):
+        sparse = RecoveryPolicy.auto(self.schedule([100.0]), epoch_cost_s=0.1)
+        dense = RecoveryPolicy.auto(
+            self.schedule([20.0, 40.0, 60.0, 80.0, 100.0]), epoch_cost_s=0.1
+        )
+        assert dense.checkpoint_every < sparse.checkpoint_every
+
+    def test_no_crashes_checkpoints_rarely(self):
+        policy = RecoveryPolicy.auto(FaultSchedule(), epoch_cost_s=0.1)
+        assert policy.checkpoint_every == 50
+
+    def test_explicit_override_wins(self):
+        policy = RecoveryPolicy.auto(
+            self.schedule([1.0]), epoch_cost_s=0.1, checkpoint_every=7
+        )
+        assert policy.checkpoint_every == 7
+
+    def test_overrides_pass_through(self):
+        policy = RecoveryPolicy.auto(
+            self.schedule([1.0]), epoch_cost_s=0.1, strategy="auto",
+            provision_deadline_s=0.2,
+        )
+        assert policy.strategy == "auto"
+        assert policy.provision_deadline_s == 0.2
+
+    def test_validates_epoch_cost(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy.auto(FaultSchedule(), epoch_cost_s=0.0)

@@ -1,6 +1,7 @@
 """run_exchange under faults: degraded links, losses, retries."""
 
 import numpy as np
+import pytest
 
 from repro.cluster.network import ECS_NETWORK
 from repro.cluster.timeline import IDLE, Timeline
@@ -106,3 +107,56 @@ class TestLossAndRetry:
         ]))
         _, stats = run(faults=inj, retry=None)
         assert stats.retries == 0
+
+
+class TestBackoffJitter:
+    def lossy(self, seed=11):
+        return FaultInjector(FaultSchedule([
+            MessageLossFault(drop_fraction=0.6)
+        ], seed=seed))
+
+    def test_zero_jitter_is_bit_identical_to_default(self):
+        """jitter=0 draws nothing: traces match the pre-jitter policy."""
+        tl_default, s_default = run(
+            faults=self.lossy(), retry=RetryPolicy(), m=4
+        )
+        tl_zero, s_zero = run(
+            faults=self.lossy(), retry=RetryPolicy(jitter=0.0), m=4
+        )
+        assert tl_default.makespan == tl_zero.makespan
+        np.testing.assert_array_equal(
+            s_default.retry_wait_s, s_zero.retry_wait_s
+        )
+
+    def test_jitter_shortens_backoff_deterministically(self):
+        def once(jitter):
+            tl, stats = run(
+                faults=self.lossy(), retry=RetryPolicy(jitter=jitter), m=4
+            )
+            return tl.makespan, float(stats.retry_wait_s.sum()), stats.retries
+
+        span_a, wait_a, retries_a = once(0.9)
+        span_b, wait_b, retries_b = once(0.9)
+        # Same seed, same jitter -> bit-identical replay.
+        assert (span_a, wait_a, retries_a) == (span_b, wait_b, retries_b)
+        # Jitter only ever subtracts from the full backoff, and it does
+        # not disturb the drop-decision stream (same retry count).
+        span_0, wait_0, retries_0 = once(0.0)
+        assert retries_a == retries_0
+        assert wait_a < wait_0
+        assert span_a <= span_0
+
+    def test_jittered_backoff_formula(self):
+        retry = RetryPolicy(
+            backoff_base_s=1e-3, backoff_factor=2.0, jitter=0.5
+        )
+        assert retry.jittered_backoff_s(2, 0.0) == retry.backoff_s(2)
+        assert retry.jittered_backoff_s(2, 1.0) == pytest.approx(
+            retry.backoff_s(2) * 0.5
+        )
+
+    def test_jitter_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)

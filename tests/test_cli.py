@@ -78,6 +78,110 @@ class TestTrain:
         assert "error" in capsys.readouterr().err
 
 
+class TestTrainJson:
+    def test_writes_summary(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "train.json"
+        assert main([
+            "train", "--dataset", "reddit", "--scale", "0.3",
+            "--nodes", "2", "--epochs", "4", "--eval-every", "2",
+            "--json", str(target),
+        ]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["engine"] == "hybrid"
+        assert payload["epochs"] == 4
+        assert 0.0 <= payload["best_accuracy"] <= 1.0
+        assert len(payload["convergence"]) >= 1
+        assert "cache" not in payload  # no cache flags given
+
+    def test_cache_stats_included_when_caching(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "train.json"
+        assert main([
+            "train", "--dataset", "reddit", "--scale", "0.3",
+            "--nodes", "2", "--epochs", "4", "--eval-every", "2",
+            "--engine", "depcomm", "--tau", "2", "--json", str(target),
+        ]) == 0
+        payload = json.loads(target.read_text())
+        assert "cache" in payload
+        assert payload["cache"]["hits"] >= 0
+
+
+class TestChaosCli:
+    BASE = [
+        "chaos", "--dataset", "cora", "--scale", "0.1", "--nodes", "4",
+        "--epochs", "4", "--engine", "depcomm", "--checkpoint-every", "2",
+    ]
+
+    def test_restart_recovery(self, capsys):
+        assert main(self.BASE + ["--crash", "1:0.0005"]) == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out
+        assert "workers" in out
+
+    def test_shrink_recovery_reports_smaller_cluster(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "chaos.json"
+        assert main(self.BASE + [
+            "--crash", "1:0.0005::perm", "--recovery", "shrink",
+            "--json", str(target),
+        ]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["recovery"] == "shrink"
+        report = payload["engines"]["depcomm"]
+        assert report["num_workers_final"] == 3
+        assert len(report["recoveries"]) >= 1
+        assert report["recoveries"][0]["strategy"] == "shrink"
+
+    def test_auto_recovery_restarts_transient(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "chaos.json"
+        assert main(self.BASE + [
+            "--crash", "1:0.0005", "--recovery", "auto",
+            "--json", str(target),
+        ]) == 0
+        payload = json.loads(target.read_text())
+        report = payload["engines"]["depcomm"]
+        assert report["num_workers_final"] == 4
+        assert report["recoveries"][0]["strategy"] == "restart"
+
+    def test_needs_at_least_one_fault(self):
+        with pytest.raises(SystemExit):
+            main(self.BASE)
+
+    def test_rejects_unknown_recovery(self):
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--crash", "1:0.0005", "--recovery", "magic"])
+
+
+class TestReplanSweepCli:
+    def test_sweep_reports_and_writes_json(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "replan.json"
+        assert main([
+            "replan-sweep", "--dataset", "cora", "--scale", "0.1",
+            "--nodes", "4", "--epochs", "4",
+            "--straggler", "0:8.0:8.0", "--json", str(target),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "static ms" in out and "adaptive ms" in out
+        payload = json.loads(target.read_text())
+        assert payload["engine"] == "hybrid"
+        assert payload["static_makespan_s"] > 0
+
+    def test_rejects_crash_faults(self):
+        with pytest.raises(SystemExit):
+            main([
+                "replan-sweep", "--dataset", "cora", "--scale", "0.1",
+                "--nodes", "4", "--crash", "1:0.1",
+            ])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
