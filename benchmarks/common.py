@@ -15,8 +15,7 @@ the string ``"OOM"``, since JSON has no NaN).
 from __future__ import annotations
 
 import argparse
-import json
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.cluster.memory import OutOfMemoryError
 from repro.cluster.spec import ClusterSpec
@@ -26,6 +25,8 @@ from repro.engines import SharedMemoryEngine, make_engine
 from repro.graph.datasets import load_dataset, spec_of
 from repro.training.prep import prepare_graph
 from repro.utils import render_table
+from repro.utils.jsonio import jsonable as _jsonable  # noqa: F401 (re-export)
+from repro.utils.jsonio import write_json  # noqa: F401 (re-export)
 
 OOM = float("nan")
 
@@ -100,21 +101,6 @@ def parse_json_flag(description: str) -> Optional[str]:
     return parser.parse_args().json
 
 
-def _jsonable(value):
-    """JSON-ready copy of ``value``; NaN (our OOM marker) -> \"OOM\"."""
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if isinstance(value, float) and value != value:
-        return "OOM"
-    return value
-
-
-def write_json(path: Optional[str], payload: Dict) -> None:
-    """Write ``payload`` to ``path`` (no-op when ``path`` is None)."""
-    if not path:
-        return
-    with open(path, "w") as fh:
-        json.dump(_jsonable(payload), fh, indent=2)
-    print(f"json written to {path}")
+# ``_jsonable`` / ``write_json`` live in ``repro.utils.jsonio`` so the
+# CLI shares the same serialisation rules; re-exported above for the
+# existing bench modules.

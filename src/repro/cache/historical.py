@@ -177,6 +177,26 @@ class HistoricalEmbeddingCache:
         entry = self._entries.get((layer, int(vertex)))
         return None if entry is None else entry.stamp
 
+    def peek(self, layer: int, vertex: int) -> Optional[np.ndarray]:
+        """The stored row regardless of freshness (``None`` if absent).
+
+        Bypasses the staleness bound and the hit/miss counters: the
+        degraded-serving path uses it to answer from an *expired* entry
+        when the owner is dead ("stale-if-error").
+        """
+        entry = self._entries.get((layer, int(vertex)))
+        return None if entry is None else entry.row
+
+    def age_of(self, layer: int, vertex: int, epoch: int) -> Optional[float]:
+        """Staleness ``epoch - stamp`` of an entry (``None`` if absent).
+
+        Reported regardless of freshness, so callers can log the age of
+        entries they are about to serve (the serving ledger's staleness
+        column) or of ones they just expired.
+        """
+        entry = self._entries.get((layer, int(vertex)))
+        return None if entry is None else float(epoch - entry.stamp)
+
     def contains(self, layer: int, vertex: int) -> bool:
         return (layer, int(vertex)) in self._entries
 

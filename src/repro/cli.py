@@ -29,6 +29,15 @@ Commands
 ``replan-sweep``
     Compare static planning against health-monitor-driven online
     re-planning under sustained stragglers / degraded links.
+``serve``
+    Online inference serving: answer a seeded stream of node-level
+    prediction requests on the partitioned cluster, with micro-batching,
+    a staleness-bounded embedding cache, and hybrid local/remote
+    dependency planning; reports the per-request latency ledger.
+``serve-bench``
+    Serving benchmark: batched vs unbatched throughput at identical
+    predictions, plus a staleness-bound sweep showing the
+    traffic/staleness trade-off.
 """
 
 from __future__ import annotations
@@ -44,10 +53,10 @@ from repro.core.model import GNNModel
 from repro.costmodel.probe import probe_constants
 from repro.engines import make_engine
 from repro.graph.datasets import DATASETS, load_dataset, spec_of
-from repro.training.checkpoint import save_checkpoint
+from repro.training.checkpoint import load_checkpoint, save_checkpoint
 from repro.training.prep import prepare_graph
 from repro.training.trainer import DistributedTrainer
-from repro.utils import render_table
+from repro.utils import jsonable, render_table, write_json
 
 
 def _cluster(args) -> ClusterSpec:
@@ -147,8 +156,6 @@ def cmd_probe(args) -> int:
 
 
 def cmd_train(args) -> int:
-    import json
-
     graph, model, engine = _build(args, args.engine)
     try:
         plan = engine.plan()
@@ -210,9 +217,7 @@ def cmd_train(args) -> int:
                 ),
                 "forced_refreshes": history.forced_refreshes,
             }
-        with open(args.json, "w") as fh:
-            json.dump(payload, fh, indent=2)
-        print(f"json written to {args.json}")
+        write_json(args.json, payload)
     return 0
 
 
@@ -227,10 +232,25 @@ def cmd_analyze(args) -> int:
           f"locality={report.chunk_locality:.2f}")
     partitioning = get_partitioner(args.partitioner)(graph, args.nodes)
     deps = analyze_dependencies(graph, partitioning, num_layers=args.layers)
+    recommendation = recommend_strategy(graph, partitioning, args.layers)
     print(f"partitioning: {args.partitioner} x {args.nodes} -> "
           f"replication {deps.replication_factor:.2f}x, "
           f"{deps.comm_bytes_per_layer / 1e6:.2f} MB/layer communicated")
-    print(f"recommendation: {recommend_strategy(graph, partitioning, args.layers)}")
+    print(f"recommendation: {recommendation}")
+    if args.json:
+        write_json(args.json, {
+            "dataset": args.dataset,
+            "num_vertices": report.num_vertices,
+            "num_edges": report.num_edges,
+            "avg_degree": report.avg_degree,
+            "degree_gini": report.degree_gini,
+            "chunk_locality": report.chunk_locality,
+            "partitioner": args.partitioner,
+            "nodes": args.nodes,
+            "replication_factor": deps.replication_factor,
+            "comm_bytes_per_layer": deps.comm_bytes_per_layer,
+            "recommendation": jsonable(recommendation),
+        })
     return 0
 
 
@@ -241,7 +261,7 @@ def _parse_endpoint(token: str):
 _TRUTHY = ("1", "true", "yes", "perm", "permanent")
 
 
-def _parse_fault_args(args, allow_crash: bool = True) -> List:
+def _parse_fault_args(args, allow_crash: bool = True, required: bool = True) -> List:
     """Build fault objects from the ``repro chaos`` flag grammar."""
     from repro.resilience import (
         LinkDegradationFault,
@@ -293,7 +313,7 @@ def _parse_fault_args(args, allow_crash: bool = True) -> List:
                 parts[3].lower() in _TRUTHY if len(parts) > 3 else False
             ),
         ))
-    if not faults:
+    if not faults and required:
         raise SystemExit(
             "chaos needs at least one fault "
             "(--straggler / --degrade / --loss"
@@ -303,8 +323,6 @@ def _parse_fault_args(args, allow_crash: bool = True) -> List:
 
 
 def cmd_chaos(args) -> int:
-    import json
-
     from repro.resilience import (
         FaultSchedule,
         RecoveryPolicy,
@@ -373,15 +391,14 @@ def cmd_chaos(args) -> int:
             "epochs": args.epochs,
             "engines": {name: r.to_dict() for name, r in reports.items()},
         }
-        with open(args.json, "w") as fh:
-            json.dump(payload, fh, indent=2)
-        print(f"json written to {args.json}")
+        write_json(args.json, payload)
     return 0
 
 
 def cmd_compare(args) -> int:
     rows = []
     times = {}
+    notes = {}
     for engine_name in ["depcache", "depcomm", "hybrid"]:
         try:
             _, _, engine = _build(args, engine_name)
@@ -390,19 +407,34 @@ def cmd_compare(args) -> int:
             extra = ""
             if engine_name == "hybrid":
                 extra = f"{engine.plan().cache_ratio() * 100:.0f}% cached"
+            notes[engine_name] = extra
             rows.append([engine_name, f"{t * 1e3:.2f}", extra])
         except OutOfMemoryError as err:
+            notes[engine_name] = err.label
             rows.append([engine_name, "OOM", err.label])
     print(render_table(["engine", "epoch ms", "notes"], rows))
-    if times:
-        best = min(times, key=times.get)
+    best = min(times, key=times.get) if times else None
+    if best:
         print(f"best: {best}")
+    if args.json:
+        write_json(args.json, {
+            "dataset": args.dataset,
+            "arch": args.arch,
+            "nodes": args.nodes,
+            "cluster": args.cluster,
+            "engines": {
+                name: {
+                    "epoch_s": times.get(name, "OOM"),
+                    "notes": notes[name],
+                }
+                for name in ["depcache", "depcomm", "hybrid"]
+            },
+            "best": best,
+        })
     return 0
 
 
 def cmd_cache_sweep(args) -> int:
-    import json
-
     from repro.cache.sweep import run_cache_sweep
 
     graph = prepare_graph(load_dataset(args.dataset, scale=args.scale), args.arch)
@@ -464,15 +496,11 @@ def cmd_cache_sweep(args) -> int:
     else:
         print("no point stayed within the accuracy tolerance")
     if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(result.to_dict(), fh, indent=2)
-        print(f"json written to {args.json}")
+        write_json(args.json, result.to_dict())
     return 0
 
 
 def cmd_replan_sweep(args) -> int:
-    import json
-
     from repro.resilience import FaultSchedule, run_replan_sweep
 
     graph = prepare_graph(load_dataset(args.dataset, scale=args.scale), args.arch)
@@ -514,9 +542,208 @@ def cmd_replan_sweep(args) -> int:
         rows,
     ))
     if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(result, fh, indent=2)
-        print(f"json written to {args.json}")
+        write_json(args.json, result)
+    return 0
+
+
+def _serving_setup(args):
+    """Graph + (optionally trained) model + partitioning for serving."""
+    from repro.partition import get_partitioner
+
+    graph = prepare_graph(load_dataset(args.dataset, scale=args.scale), args.arch)
+    spec = spec_of(args.dataset)
+    model = GNNModel.build(
+        args.arch, graph.feature_dim, args.hidden or spec.hidden_dim,
+        graph.num_classes, num_layers=args.layers, seed=args.seed,
+    )
+    cluster = _cluster(args)
+    if getattr(args, "checkpoint", None):
+        meta = load_checkpoint(model, args.checkpoint)
+        print(f"loaded checkpoint {args.checkpoint} "
+              f"({meta.get('dataset', '?')}, {meta.get('arch', '?')})")
+    elif getattr(args, "train_epochs", 0):
+        engine = make_engine("hybrid", graph, model, cluster)
+        DistributedTrainer(engine, lr=0.01).train(
+            epochs=args.train_epochs, eval_every=args.train_epochs
+        )
+        print(f"trained {args.train_epochs} epochs before serving")
+    partitioning = get_partitioner(args.partitioner)(graph, args.nodes)
+    return graph, model, cluster, partitioning
+
+
+def _parse_bursts(specs):
+    from repro.serving import BurstPhase
+
+    bursts = []
+    for spec in specs or []:
+        parts = spec.split(":")
+        if len(parts) < 2:
+            raise SystemExit(f"--burst wants START:END[:MULTIPLIER], got {spec!r}")
+        bursts.append(BurstPhase(
+            start_s=float(parts[0]),
+            end_s=float(parts[1]),
+            rate_multiplier=float(parts[2]) if len(parts) > 2 else 4.0,
+        ))
+    return tuple(bursts)
+
+
+def cmd_serve(args) -> int:
+    from repro.resilience import FaultSchedule
+    from repro.serving import (
+        InferenceServer,
+        ServingConfig,
+        SLOConfig,
+        WorkloadConfig,
+        generate_workload,
+    )
+
+    graph, model, cluster, partitioning = _serving_setup(args)
+    workload = generate_workload(
+        WorkloadConfig(
+            num_requests=args.requests,
+            rate_rps=args.rate,
+            zipf_exponent=args.zipf,
+            seed=args.workload_seed,
+            bursts=_parse_bursts(args.burst),
+        ),
+        graph.num_vertices,
+    )
+    faults = _parse_fault_args(args, required=False)
+    config = ServingConfig(
+        batch_window_s=args.batch_window,
+        max_batch=args.max_batch,
+        tau_s=args.tau_s,
+        mode=args.serve_mode,
+        slo=SLOConfig(max_pending=args.max_pending),
+    )
+    server = InferenceServer(
+        graph, model, cluster, partitioning, config=config,
+        faults=FaultSchedule(faults, seed=args.fault_seed) if faults else None,
+    )
+    result = server.serve(workload)
+    ledger = result.ledger
+    modes = ", ".join(
+        f"{mode} {count}" for mode, count in sorted(ledger.mode_counts().items())
+    )
+    rows = [[
+        str(len(ledger)),
+        str(len(ledger.served())),
+        str(ledger.shed_count),
+        str(ledger.degraded_count),
+        f"{ledger.p50_s * 1e3:.2f}",
+        f"{ledger.p95_s * 1e3:.2f}",
+        f"{ledger.p99_s * 1e3:.2f}",
+        f"{ledger.throughput_rps():.0f}",
+        f"{ledger.total_comm_bytes / 1e3:.1f}",
+        f"{ledger.mean_staleness_s() * 1e3:.1f}",
+    ]]
+    print(render_table(
+        ["requests", "served", "shed", "degraded", "p50 ms", "p95 ms",
+         "p99 ms", "rps", "comm KB", "staleness ms"],
+        rows,
+    ))
+    print(f"modes: {modes} | {result.num_batches} micro-batches, "
+          f"cache hits {result.cache.counters.hits}")
+    if args.trace:
+        from repro.cluster.trace import save_chrome_trace
+
+        path = save_chrome_trace(result.timeline, args.trace)
+        print(f"chrome trace written to {path}")
+    if args.json:
+        write_json(args.json, {
+            "dataset": args.dataset,
+            "partitioner": args.partitioner,
+            "tau_s": args.tau_s,
+            "mode": args.serve_mode,
+            "batch_window_s": args.batch_window,
+            "max_batch": args.max_batch,
+            "summary": jsonable(result.summary()),
+            "ledger": jsonable(ledger.to_dict()),
+        })
+    return 0
+
+
+def cmd_serve_bench(args) -> int:
+    from repro.serving import (
+        InferenceServer,
+        ServingConfig,
+        WorkloadConfig,
+        generate_workload,
+    )
+
+    graph, model, cluster, partitioning = _serving_setup(args)
+    workload = generate_workload(
+        WorkloadConfig(
+            num_requests=args.requests,
+            rate_rps=args.rate,
+            zipf_exponent=args.zipf,
+            seed=args.workload_seed,
+        ),
+        graph.num_vertices,
+    )
+
+    def run(window_s, max_batch, tau_s, mode):
+        config = ServingConfig(
+            batch_window_s=window_s, max_batch=max_batch,
+            tau_s=tau_s, mode=mode,
+        )
+        server = InferenceServer(
+            graph, model, cluster, partitioning, config=config,
+            record_timeline=False,
+        )
+        return server.serve(workload)
+
+    # Batched vs unbatched at identical predictions.
+    unbatched = run(0.0, 1, 0.0, "local")
+    batched = run(args.batch_window, args.max_batch, 0.0, "local")
+    speedup = (
+        batched.ledger.throughput_rps() / unbatched.ledger.throughput_rps()
+        if unbatched.ledger.throughput_rps() else float("inf")
+    )
+    rows = [
+        ["unbatched", f"{unbatched.ledger.throughput_rps():.0f}",
+         f"{unbatched.ledger.p99_s * 1e3:.2f}", "-"],
+        ["batched", f"{batched.ledger.throughput_rps():.0f}",
+         f"{batched.ledger.p99_s * 1e3:.2f}", f"{speedup:.2f}x"],
+    ]
+    print(render_table(["serving", "rps", "p99 ms", "speedup"], rows))
+    identical = batched.predictions == unbatched.predictions
+    print(f"predictions identical: {identical}")
+
+    # Staleness-bound sweep (remote mode so traffic is non-trivial).
+    taus = [float(t) for t in args.taus.split(",")]
+    sweep = []
+    rows = []
+    for tau in taus:
+        result = run(args.batch_window, args.max_batch, tau, "remote")
+        ledger = result.ledger
+        point = {
+            "tau_s": tau,
+            "comm_bytes": ledger.total_comm_bytes,
+            "p99_ms": ledger.p99_s * 1e3,
+            "mean_staleness_s": ledger.mean_staleness_s(),
+            "cache_hits": result.cache.counters.hits,
+        }
+        sweep.append(point)
+        rows.append([
+            f"{tau:g}", f"{ledger.total_comm_bytes / 1e3:.1f}",
+            f"{ledger.p99_s * 1e3:.2f}",
+            f"{ledger.mean_staleness_s() * 1e3:.1f}",
+            str(result.cache.counters.hits),
+        ])
+    print(render_table(
+        ["tau s", "comm KB", "p99 ms", "staleness ms", "cache hits"], rows
+    ))
+    if args.json:
+        write_json(args.json, {
+            "dataset": args.dataset,
+            "requests": args.requests,
+            "batched_rps": batched.ledger.throughput_rps(),
+            "unbatched_rps": unbatched.ledger.throughput_rps(),
+            "batching_speedup": speedup,
+            "predictions_identical": identical,
+            "tau_sweep": sweep,
+        })
     return 0
 
 
@@ -584,6 +811,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_model_args(compare)
     _add_cluster_args(compare)
+    compare.add_argument("--json", default=None,
+                         help="write the comparison to this JSON file")
 
     analyze = sub.add_parser(
         "analyze", help="structural report + strategy recommendation"
@@ -592,6 +821,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cluster_args(analyze)
     analyze.add_argument("--partitioner", default="chunk",
                          choices=["chunk", "hash", "fennel", "metis"])
+    analyze.add_argument("--json", default=None,
+                         help="write the report to this JSON file")
 
     chaos = sub.add_parser(
         "chaos",
@@ -659,6 +890,79 @@ def build_parser() -> argparse.ArgumentParser:
     replan.add_argument("--json", default=None,
                         help="write the sweep result to this JSON file")
 
+    serve = sub.add_parser(
+        "serve",
+        help="online inference serving on the partitioned cluster",
+    )
+    _add_model_args(serve)
+    _add_cluster_args(serve)
+    serve.add_argument("--partitioner", default="chunk",
+                       choices=["chunk", "hash", "fennel", "metis"])
+    serve.add_argument("--checkpoint", default=None,
+                       help="load model weights from this .npz before serving")
+    serve.add_argument("--train-epochs", type=int, default=0,
+                       help="quick-train this many epochs before serving "
+                            "(ignored with --checkpoint)")
+    serve.add_argument("--requests", type=int, default=200,
+                       help="number of requests to generate (default 200)")
+    serve.add_argument("--rate", type=float, default=2000.0,
+                       help="mean arrival rate in requests/s (default 2000)")
+    serve.add_argument("--zipf", type=float, default=1.0,
+                       help="Zipf popularity exponent; 0 = uniform")
+    serve.add_argument("--workload-seed", type=int, default=0)
+    serve.add_argument("--burst", action="append", metavar="SPEC",
+                       help="START:END[:MULTIPLIER] arrival-rate burst window")
+    serve.add_argument("--batch-window", type=float, default=0.002,
+                       help="micro-batch window in seconds (default 2 ms)")
+    serve.add_argument("--max-batch", type=int, default=32)
+    serve.add_argument("--tau-s", type=float, default=0.0,
+                       help="staleness bound for served embeddings in "
+                            "seconds (0 = always recompute)")
+    serve.add_argument("--serve-mode", default="auto",
+                       choices=["auto", "local", "remote"],
+                       help="force local recompute / remote fetch, or let "
+                            "the planner pick per batch (default auto)")
+    serve.add_argument("--max-pending", type=int, default=None,
+                       help="shed requests arriving over this backlog")
+    serve.add_argument("--straggler", action="append", metavar="SPEC",
+                       help="WORKER:GPU_FACTOR[:CPU_FACTOR[:START[:END]]]")
+    serve.add_argument("--degrade", action="append", metavar="SPEC",
+                       help="SRC:DST:FACTOR[:EXTRA_LATENCY_S]")
+    serve.add_argument("--loss", action="append", metavar="SPEC",
+                       help="FRACTION[:SRC[:DST]] of sends dropped")
+    serve.add_argument("--crash", action="append", metavar="SPEC",
+                       help="WORKER:TIME -- serve degraded around the dead "
+                            "worker")
+    serve.add_argument("--fault-seed", type=int, default=0)
+    serve.add_argument("--trace", default=None,
+                       help="write a chrome trace of the serving timeline")
+    serve.add_argument("--json", default=None,
+                       help="write summary + per-request ledger to this "
+                            "JSON file")
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="serving benchmark: batching speedup + staleness sweep",
+    )
+    _add_model_args(serve_bench)
+    _add_cluster_args(serve_bench)
+    serve_bench.add_argument("--partitioner", default="chunk",
+                             choices=["chunk", "hash", "fennel", "metis"])
+    serve_bench.add_argument("--requests", type=int, default=400)
+    serve_bench.add_argument("--rate", type=float, default=200000.0,
+                             help="arrival rate; the default saturates the "
+                                  "cluster so batching gains show")
+    serve_bench.add_argument("--zipf", type=float, default=1.1)
+    serve_bench.add_argument("--workload-seed", type=int, default=0)
+    serve_bench.add_argument("--batch-window", type=float, default=0.002)
+    serve_bench.add_argument("--max-batch", type=int, default=64)
+    serve_bench.add_argument("--taus", default="0,0.01,0.05,0.2",
+                             help="comma-separated staleness bounds in "
+                                  "seconds for the sweep")
+    serve_bench.add_argument("--json", default=None,
+                             help="write the benchmark result to this JSON "
+                                  "file")
+
     return parser
 
 
@@ -671,6 +975,8 @@ _COMMANDS = {
     "chaos": cmd_chaos,
     "cache-sweep": cmd_cache_sweep,
     "replan-sweep": cmd_replan_sweep,
+    "serve": cmd_serve,
+    "serve-bench": cmd_serve_bench,
 }
 
 

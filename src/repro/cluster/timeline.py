@@ -37,6 +37,28 @@ class Interval:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class Span:
+    """A named logical period on one worker's row (serving lifecycle).
+
+    Unlike an :class:`Interval`, a span does not charge time or occupy
+    the clock -- it annotates a stretch of it (a request's life from
+    arrival to reply, a micro-batch's dispatch window, a compute/fetch
+    phase), so traces show *why* the underlying gpu/net intervals
+    happened.  ``args`` carries free-form labels into the trace export.
+    """
+
+    worker: int
+    name: str
+    start: float
+    end: float
+    args: Optional[Dict[str, object]] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
 class Timeline:
     """Clocks + interval log for ``num_workers`` workers."""
 
@@ -47,6 +69,7 @@ class Timeline:
         self.clocks = np.zeros(num_workers, dtype=np.float64)
         self.record = record
         self.intervals: List[Interval] = []
+        self.spans: List[Span] = []
         self.totals: Dict[str, np.ndarray] = {
             kind: np.zeros(num_workers) for kind in KINDS
         }
@@ -114,6 +137,29 @@ class Timeline:
         if self.record:
             self.intervals.append(
                 Interval(worker, kind, float(start), float(start + duration), num_bytes)
+            )
+
+    def record_span(
+        self,
+        worker: int,
+        name: str,
+        start: float,
+        end: float,
+        **args: object,
+    ) -> None:
+        """Annotate ``[start, end)`` on ``worker``'s row with ``name``.
+
+        Spans never move clocks or totals; they exist purely for trace
+        export (``repro.cluster.trace``) and debugging.  Recording is
+        gated on ``self.record`` like intervals.
+        """
+        if not 0 <= worker < self.num_workers:
+            raise ValueError(f"worker {worker} not in 0..{self.num_workers - 1}")
+        if end < start:
+            raise ValueError(f"span must have end >= start, got [{start}, {end})")
+        if self.record:
+            self.spans.append(
+                Span(worker, name, float(start), float(end), args or None)
             )
 
     def barrier(self, workers: Optional[Sequence[int]] = None) -> float:

@@ -3,6 +3,12 @@
 Every recorded interval becomes a complete ("X") event on the worker's
 row, so a whole training epoch can be inspected visually: forward
 exchanges, overlapped GPU/NET phases, barriers, the all-reduce.
+
+Recorded :class:`~repro.cluster.timeline.Span` annotations (the serving
+subsystem's request arrival -> batch -> compute/fetch -> reply
+lifecycle) export as "X" events too, under the ``span`` category, so a
+served workload reads as nested request/batch bars above the raw
+gpu/net activity of the workers that executed it.
 """
 
 from __future__ import annotations
@@ -45,6 +51,17 @@ def timeline_to_chrome_trace(timeline: Timeline) -> dict:
             "dur": interval.duration * 1e6,
             "cname": _COLORS.get(interval.kind, "grey"),
             "args": {"bytes": interval.num_bytes},
+        })
+    for span in timeline.spans:
+        events.append({
+            "name": span.name,
+            "cat": "span",
+            "ph": "X",
+            "pid": 0,
+            "tid": span.worker,
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "args": dict(span.args or {}),
         })
     return {
         "traceEvents": events,

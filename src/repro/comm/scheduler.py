@@ -17,7 +17,7 @@ optimizations map to :class:`CommOptions` flags:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, TYPE_CHECKING
+from typing import Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
@@ -117,6 +117,7 @@ def run_exchange(
     faults: Optional["FaultInjector"] = None,
     retry: Optional["RetryPolicy"] = None,
     cache: Optional[CacheTraffic] = None,
+    participants: Optional[Sequence[int]] = None,
 ) -> ExchangeStats:
     """Charge one exchange-and-compute superstep to the timeline.
 
@@ -152,6 +153,13 @@ def run_exchange(
         share of this exchange: fetched (and charged) on refresh steps,
         skipped otherwise.  ``None`` is the bit-identical cache-free
         path.
+    participants:
+        Workers taking part in this exchange.  Workers outside the set
+        are skipped entirely -- no packing, wire time, compute, or
+        barrier wait is charged to them, and any ``volumes`` rows or
+        columns naming them are ignored (callers must route around dead
+        or idle workers themselves).  ``None`` (the default) means all
+        workers, bit-identical to the historical behaviour.
     """
     m = timeline.num_workers
     volumes = np.asarray(volumes, dtype=np.float64)
@@ -188,13 +196,27 @@ def run_exchange(
     retries = 0
     phase = faults.next_phase() if faults is not None else 0
 
-    for i in range(m):
+    if participants is None:
+        members = list(range(m))
+    else:
+        members = sorted({int(w) for w in participants})
+        for w in members:
+            if not 0 <= w < m:
+                raise ValueError(f"participant {w} not in 0..{m - 1}")
+        if not members:
+            raise ValueError("participants must name at least one worker")
+
+    for i in members:
         if faults is None:
             sends = [
-                volumes[i, j] for j in range(m) if j != i and volumes[i, j] > 0
+                volumes[i, j]
+                for j in members
+                if j != i and volumes[i, j] > 0
             ]
             recvs = [
-                volumes[j, i] for j in range(m) if j != i and volumes[j, i] > 0
+                volumes[j, i]
+                for j in members
+                if j != i and volumes[j, i] > 0
             ]
             pack_s[i] = sum(
                 network.pack_time(
@@ -223,7 +245,7 @@ def run_exchange(
             wait_i = 0.0
             recv_bytes = 0
             recv_wires = []
-            for j in range(m):
+            for j in members:
                 if j == i:
                     continue
                 b = volumes[i, j]
@@ -254,7 +276,7 @@ def run_exchange(
                     recv_bytes += int(b)
             retry_wait[i] = wait_i
         compute_s[i] = local_compute[i] + sum(
-            chunk_compute[j, i] for j in range(m) if j != i
+            chunk_compute[j, i] for j in members if j != i
         )
 
         start = timeline.now(i)
@@ -291,8 +313,13 @@ def run_exchange(
             timeline.advance(i, GPU, compute_s[i])
         phase_s[i] = timeline.now(i) - start
 
+    if participants is not None:
+        inside = np.zeros(m, dtype=bool)
+        inside[members] = True
+        off_diag &= inside[:, None] & inside[None, :]
+
     if barrier:
-        timeline.barrier()
+        timeline.barrier(None if participants is None else members)
     return ExchangeStats(
         pack_s=pack_s,
         send_s=send_s,

@@ -14,12 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, Tuple
 
-import numpy as np
-
 from repro.cluster.device import DeviceProfile
 from repro.cluster.network import NetworkProfile
 from repro.resilience.faults import FaultSchedule
 from repro.resilience.retry import RetryPolicy
+from repro.utils.rng import derive_uniform
 
 # Attempt-index salt separating backoff-jitter draws from drop draws in
 # the shared (seed, phase, src, dst, attempt) stream; far above any real
@@ -75,11 +74,14 @@ class FaultInjector:
         return self._phase
 
     def draw(self, phase: int, src: int, dst: int, attempt: int) -> float:
-        """Deterministic uniform in [0, 1) for one send attempt."""
-        rng = np.random.default_rng(
-            [self.schedule.seed & 0x7FFFFFFF, phase, src, dst, attempt]
-        )
-        return float(rng.random())
+        """Deterministic uniform in [0, 1) for one send attempt.
+
+        Routed through :func:`repro.utils.rng.derive_uniform`, whose
+        all-integer path is bit-identical to the historical
+        ``default_rng([seed & 0x7FFFFFFF, phase, src, dst, attempt])``
+        formula, so pre-helper chaos traces replay unchanged.
+        """
+        return derive_uniform(self.schedule.seed, phase, src, dst, attempt)
 
     # ------------------------------------------------------------------
     # Device view (straggler compute slowdown)

@@ -1,0 +1,53 @@
+"""Online inference serving on the partitioned cluster.
+
+Training ends with a model and a partitioned graph spread over ``m``
+workers; this package answers *node-level prediction requests* against
+that state, charging every microsecond of request latency through the
+same :class:`~repro.cluster.timeline.Timeline` /
+:class:`~repro.cluster.network.NetworkProfile` machinery the training
+engines use.  The pieces mirror the training-side dependency-management
+split:
+
+- :mod:`repro.serving.workload` -- seeded request generators (Poisson
+  arrivals, Zipfian vertex popularity, burst phases);
+- :mod:`repro.serving.planner` -- per-request choice between serving
+  from the staleness-bounded historical cache, recomputing the k-hop
+  closure locally (DepCache-style), or fetching remote representations
+  through the exchange scheduler (DepComm-style), priced with the same
+  probed ``T_v`` / ``T_e`` / ``T_c`` constants as Algorithm 4;
+- :mod:`repro.serving.batcher` -- micro-batching of concurrent
+  requests with k-hop frontier dedup;
+- :mod:`repro.serving.slo` -- the per-request latency ledger
+  (p50/p95/p99, throughput), admission control, and load shedding;
+- :mod:`repro.serving.server` -- the :class:`InferenceServer` tying it
+  together, including degraded serving under a
+  :class:`~repro.resilience.faults.FaultSchedule`.
+"""
+
+from repro.serving.batcher import MicroBatch, MicroBatcher
+from repro.serving.planner import ClosureProfile, RequestPlanner
+from repro.serving.server import InferenceServer, ServingConfig, ServingResult
+from repro.serving.slo import LatencyLedger, RequestRecord, SLOConfig
+from repro.serving.workload import (
+    BurstPhase,
+    Request,
+    WorkloadConfig,
+    generate_workload,
+)
+
+__all__ = [
+    "BurstPhase",
+    "ClosureProfile",
+    "InferenceServer",
+    "LatencyLedger",
+    "MicroBatch",
+    "MicroBatcher",
+    "Request",
+    "RequestPlanner",
+    "RequestRecord",
+    "SLOConfig",
+    "ServingConfig",
+    "ServingResult",
+    "WorkloadConfig",
+    "generate_workload",
+]

@@ -1,0 +1,188 @@
+"""Per-request latency accounting and service-level objectives.
+
+Every request ends as a :class:`RequestRecord` in a
+:class:`LatencyLedger` -- including shed ones, so tail percentiles and
+shed rates are computed over the *offered* load, not just the served
+share.  The ledger is plain data derived deterministically from the
+simulated run: same seed, same config, bit-identical ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Admission-control knobs.
+
+    ``max_pending``: a request arriving while this many admitted
+    requests are still in flight is shed immediately (load shedding
+    under overload).  ``deadline_s`` is advisory -- requests finishing
+    past it are counted as violations, not cancelled.  ``None``
+    disables either bound.
+    """
+
+    max_pending: Optional[int] = None
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Outcome of one request.
+
+    ``mode`` is how it was served (``cached`` / ``local`` / ``remote``
+    / ``shed``); ``worker`` the coordinator that answered it;
+    ``comm_bytes`` its share of the cross-worker traffic its batch
+    moved; ``staleness_s`` the age of the cached embedding it was
+    served from (0 for exact recomputes); ``degraded`` marks answers
+    produced on a fallback worker or from an expired cache entry while
+    the owner was dead.
+    """
+
+    req_id: int
+    vertex: int
+    arrival_s: float
+    dispatch_s: float
+    finish_s: Optional[float]
+    mode: str
+    worker: int
+    comm_bytes: float = 0.0
+    staleness_s: float = 0.0
+    shed: bool = False
+    degraded: bool = False
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        if self.shed or self.finish_s is None:
+            return None
+        return self.finish_s - self.arrival_s
+
+
+class LatencyLedger:
+    """Accumulates :class:`RequestRecord` rows and summarises them."""
+
+    def __init__(self):
+        self.records: List[RequestRecord] = []
+
+    def add(self, record: RequestRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    def served(self) -> List[RequestRecord]:
+        return [r for r in self.records if not r.shed]
+
+    def latencies_s(self) -> np.ndarray:
+        return np.array(
+            [r.latency_s for r in self.records if r.latency_s is not None]
+        )
+
+    def percentile_s(self, p: float) -> float:
+        lat = self.latencies_s()
+        return float(np.percentile(lat, p)) if len(lat) else 0.0
+
+    @property
+    def p50_s(self) -> float:
+        return self.percentile_s(50.0)
+
+    @property
+    def p95_s(self) -> float:
+        return self.percentile_s(95.0)
+
+    @property
+    def p99_s(self) -> float:
+        return self.percentile_s(99.0)
+
+    @property
+    def mean_s(self) -> float:
+        lat = self.latencies_s()
+        return float(lat.mean()) if len(lat) else 0.0
+
+    def throughput_rps(self) -> float:
+        """Served requests over the span from first arrival to last reply."""
+        served = self.served()
+        if not served:
+            return 0.0
+        start = min(r.arrival_s for r in self.records)
+        end = max(r.finish_s for r in served)
+        span = end - start
+        return len(served) / span if span > 0 else float("inf")
+
+    # ------------------------------------------------------------------
+    @property
+    def shed_count(self) -> int:
+        return sum(1 for r in self.records if r.shed)
+
+    @property
+    def degraded_count(self) -> int:
+        return sum(1 for r in self.records if r.degraded)
+
+    def mode_counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for r in self.records:
+            out[r.mode] = out.get(r.mode, 0) + 1
+        return out
+
+    @property
+    def total_comm_bytes(self) -> float:
+        return float(sum(r.comm_bytes for r in self.records))
+
+    def mean_staleness_s(self) -> float:
+        stale = [r.staleness_s for r in self.records if r.mode == "cached"]
+        return float(np.mean(stale)) if stale else 0.0
+
+    def deadline_violations(self, deadline_s: float) -> int:
+        return sum(
+            1
+            for r in self.records
+            if r.latency_s is not None and r.latency_s > deadline_s
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary plus the full per-request table."""
+        return {
+            "num_requests": len(self.records),
+            "served": len(self.served()),
+            "shed": self.shed_count,
+            "degraded": self.degraded_count,
+            "mode_counts": self.mode_counts(),
+            "latency_p50_ms": self.p50_s * 1e3,
+            "latency_p95_ms": self.p95_s * 1e3,
+            "latency_p99_ms": self.p99_s * 1e3,
+            "latency_mean_ms": self.mean_s * 1e3,
+            "throughput_rps": self.throughput_rps(),
+            "total_comm_bytes": self.total_comm_bytes,
+            "mean_staleness_s": self.mean_staleness_s(),
+            "records": [
+                {
+                    "req_id": r.req_id,
+                    "vertex": r.vertex,
+                    "arrival_s": r.arrival_s,
+                    "dispatch_s": r.dispatch_s,
+                    "finish_s": r.finish_s,
+                    "latency_ms": (
+                        None if r.latency_s is None else r.latency_s * 1e3
+                    ),
+                    "mode": r.mode,
+                    "worker": r.worker,
+                    "comm_bytes": r.comm_bytes,
+                    "staleness_s": r.staleness_s,
+                    "shed": r.shed,
+                    "degraded": r.degraded,
+                }
+                for r in self.records
+            ],
+        }

@@ -1,0 +1,42 @@
+"""Machine-readable output helpers shared by the CLI and benchmarks.
+
+Every command/benchmark that supports ``--json PATH`` funnels its result
+dictionary through :func:`write_json`, so the serialisation rules live
+in one place: NaN (the out-of-memory marker) becomes the string
+``"OOM"`` (JSON has no NaN), numpy scalars/arrays decay to plain Python
+numbers/lists, and tuples become lists.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+import numpy as np
+
+
+def jsonable(value):
+    """A JSON-serialisable copy of ``value``; NaN -> ``"OOM"``."""
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        value = float(value)
+    if isinstance(value, float) and value != value:
+        return "OOM"
+    return value
+
+
+def write_json(path: Optional[str], payload: Dict, quiet: bool = False) -> None:
+    """Write ``payload`` to ``path`` (no-op when ``path`` is falsy)."""
+    if not path:
+        return
+    with open(path, "w") as fh:
+        json.dump(jsonable(payload), fh, indent=2)
+    if not quiet:
+        print(f"json written to {path}")

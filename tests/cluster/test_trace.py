@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.cluster.timeline import CPU, GPU, IDLE, NET_RECV, Timeline
 from repro.cluster.trace import _COLORS, save_chrome_trace, timeline_to_chrome_trace
 
@@ -73,3 +75,57 @@ class TestChromeTrace:
         tl.advance(0, GPU, 1.0)
         events = timeline_to_chrome_trace(tl)["traceEvents"]
         assert len(events) == 2  # only the thread_name rows
+
+
+class TestSpanExport:
+    """Serving-style annotation spans round-trip through the trace."""
+
+    def spanned_timeline(self):
+        tl = busy_timeline()
+        tl.record_span(0, "batch", 0.0, 0.5, size=3, mode="local")
+        tl.record_span(0, "request", 0.1, 0.45, req_id=7, vertex=12)
+        tl.record_span(2, "reply", 0.125, 0.5, replies=2)
+        return tl
+
+    def test_spans_exported_alongside_intervals(self):
+        tl = self.spanned_timeline()
+        events = timeline_to_chrome_trace(tl)["traceEvents"]
+        spans = [e for e in events if e.get("cat") == "span"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == len(tl.spans) == 3
+        assert len(complete) == len(tl.intervals) + len(tl.spans)
+
+    def test_span_round_trip_ordering_and_attribution(self, tmp_path):
+        tl = self.spanned_timeline()
+        path = save_chrome_trace(tl, tmp_path / "serve_trace")
+        loaded = json.loads(path.read_text())
+        spans = [e for e in loaded["traceEvents"] if e.get("cat") == "span"]
+        # Export preserves recording order.
+        assert [e["name"] for e in spans] == ["batch", "request", "reply"]
+        # Worker attribution survives as the thread id.
+        assert [e["tid"] for e in spans] == [0, 0, 2]
+        # Microsecond conversion and args round-trip.
+        request = next(e for e in spans if e["name"] == "request")
+        assert request["ts"] == pytest.approx(0.1 * 1e6)
+        assert request["dur"] == pytest.approx(0.35 * 1e6)
+        assert request["args"] == {"req_id": 7, "vertex": 12}
+        batch = next(e for e in spans if e["name"] == "batch")
+        assert batch["args"] == {"size": 3, "mode": "local"}
+        # Spans sit inside the simulated makespan on their worker's row.
+        for e in spans:
+            assert 0 <= e["ts"] and e["ts"] + e["dur"] <= tl.makespan * 1e6
+
+    def test_spans_skipped_when_not_recording(self):
+        tl = Timeline(2, record=False)
+        tl.advance(0, GPU, 1.0)
+        tl.record_span(0, "batch", 0.0, 1.0)
+        assert tl.spans == []
+        events = timeline_to_chrome_trace(tl)["traceEvents"]
+        assert [e for e in events if e.get("cat") == "span"] == []
+
+    def test_span_validation(self):
+        tl = Timeline(2)
+        with pytest.raises(ValueError):
+            tl.record_span(5, "batch", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            tl.record_span(0, "batch", 1.0, 0.5)

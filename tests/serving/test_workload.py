@@ -1,0 +1,91 @@
+"""Seeded workload generation."""
+
+import pytest
+
+from repro.serving import BurstPhase, WorkloadConfig, generate_workload
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        config = WorkloadConfig(num_requests=100, rate_rps=500.0, seed=7)
+        a = generate_workload(config, 64)
+        b = generate_workload(config, 64)
+        assert a == b
+
+    def test_seed_changes_stream(self):
+        a = generate_workload(WorkloadConfig(num_requests=50, seed=1), 64)
+        b = generate_workload(WorkloadConfig(num_requests=50, seed=2), 64)
+        assert a != b
+
+    def test_arrivals_increase_and_ids_sequential(self):
+        requests = generate_workload(WorkloadConfig(num_requests=80), 32)
+        arrivals = [r.arrival_s for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert all(t > 0 for t in arrivals)
+        assert [r.req_id for r in requests] == list(range(80))
+        assert all(0 <= r.vertex < 32 for r in requests)
+
+    def test_zipf_concentrates_popularity(self):
+        uniform = generate_workload(
+            WorkloadConfig(num_requests=400, zipf_exponent=0.0, seed=3), 200
+        )
+        skewed = generate_workload(
+            WorkloadConfig(num_requests=400, zipf_exponent=1.5, seed=3), 200
+        )
+        assert len({r.vertex for r in skewed}) < len({r.vertex for r in uniform})
+
+    def test_arrivals_independent_of_popularity(self):
+        """Separate derived streams: changing the exponent moves which
+        vertices are requested but not when requests arrive."""
+        mild = generate_workload(
+            WorkloadConfig(num_requests=60, zipf_exponent=0.5, seed=9), 64
+        )
+        hot = generate_workload(
+            WorkloadConfig(num_requests=60, zipf_exponent=1.5, seed=9), 64
+        )
+        assert [r.arrival_s for r in mild] == [r.arrival_s for r in hot]
+
+    def test_burst_compresses_gaps(self):
+        base = WorkloadConfig(num_requests=300, rate_rps=1000.0, seed=5)
+        burst = WorkloadConfig(
+            num_requests=300, rate_rps=1000.0, seed=5,
+            bursts=(BurstPhase(start_s=0.05, end_s=0.15, rate_multiplier=8.0),),
+        )
+        plain = generate_workload(base, 64)
+        bursty = generate_workload(burst, 64)
+
+        def in_window(reqs):
+            return sum(1 for r in reqs if 0.05 <= r.arrival_s < 0.15)
+
+        assert in_window(bursty) > in_window(plain)
+
+    def test_rate_at_multiplies_inside_burst(self):
+        config = WorkloadConfig(
+            num_requests=10, rate_rps=100.0,
+            bursts=(BurstPhase(0.1, 0.2, rate_multiplier=4.0),),
+        )
+        assert config.rate_at(0.05) == 100.0
+        assert config.rate_at(0.15) == 400.0
+        assert config.rate_at(0.2) == 100.0  # half-open window
+
+
+class TestValidation:
+    def test_rejects_bad_configs(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(num_requests=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(num_requests=1, rate_rps=0.0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(num_requests=1, zipf_exponent=-0.1)
+
+    def test_rejects_bad_bursts(self):
+        with pytest.raises(ValueError):
+            BurstPhase(start_s=-1.0, end_s=1.0)
+        with pytest.raises(ValueError):
+            BurstPhase(start_s=1.0, end_s=1.0)
+        with pytest.raises(ValueError):
+            BurstPhase(start_s=0.0, end_s=1.0, rate_multiplier=0.0)
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(ValueError):
+            generate_workload(WorkloadConfig(num_requests=1), 0)

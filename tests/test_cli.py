@@ -182,6 +182,108 @@ class TestReplanSweepCli:
             ])
 
 
+class TestCompareJson:
+    def test_writes_engine_table(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "compare.json"
+        assert main([
+            "compare", "--dataset", "cora", "--scale", "0.2",
+            "--nodes", "2", "--json", str(target),
+        ]) == 0
+        payload = json.loads(target.read_text())
+        assert set(payload["engines"]) == {"depcache", "depcomm", "hybrid"}
+        assert payload["best"] in payload["engines"]
+        assert payload["engines"]["hybrid"]["epoch_s"] > 0
+
+
+class TestAnalyzeJson:
+    def test_writes_report_and_recommendation(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "analyze.json"
+        assert main([
+            "analyze", "--dataset", "cora", "--scale", "0.2",
+            "--nodes", "2", "--json", str(target),
+        ]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["dataset"] == "cora"
+        assert payload["replication_factor"] >= 1.0
+        assert "recommendation" in payload
+
+
+class TestServeCli:
+    BASE = [
+        "serve", "--dataset", "cora", "--scale", "0.1", "--nodes", "2",
+        "--requests", "20", "--rate", "5000",
+    ]
+
+    def test_serves_and_reports_latency(self, capsys):
+        assert main(self.BASE) == 0
+        out = capsys.readouterr().out
+        assert "p99 ms" in out
+        assert "micro-batches" in out
+
+    def test_json_trace_and_training(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "serve.json"
+        trace = tmp_path / "serve_trace"
+        assert main(self.BASE + [
+            "--train-epochs", "1", "--tau-s", "0.05",
+            "--trace", str(trace), "--json", str(target),
+        ]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["tau_s"] == 0.05
+        assert payload["summary"]["served"] == 20
+        assert len(payload["ledger"]["records"]) == 20
+        trace_events = json.loads(
+            (tmp_path / "serve_trace.json").read_text()
+        )["traceEvents"]
+        assert any(e.get("cat") == "span" for e in trace_events)
+
+    def test_degraded_serving_with_crash(self, capsys):
+        assert main(self.BASE + ["--crash", "1:0.0"]) == 0
+        out = capsys.readouterr().out
+        assert "degraded" in out
+
+    def test_shedding_under_max_pending(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "serve.json"
+        assert main(self.BASE + [
+            "--rate", "500000", "--max-pending", "2", "--json", str(target),
+        ]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["summary"]["shed"] > 0
+
+    def test_rejects_bad_burst_spec(self):
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--burst", "nonsense"])
+
+
+class TestServeBenchCli:
+    def test_reports_speedup_and_sweep(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "bench.json"
+        assert main([
+            "serve-bench", "--dataset", "cora", "--scale", "0.1",
+            "--nodes", "2", "--requests", "60", "--rate", "100000",
+            "--taus", "0,0.05", "--json", str(target),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "predictions identical: True" in out
+        payload = json.loads(target.read_text())
+        assert payload["predictions_identical"] is True
+        assert len(payload["tau_sweep"]) == 2
+        assert (
+            payload["tau_sweep"][1]["comm_bytes"]
+            <= payload["tau_sweep"][0]["comm_bytes"]
+        )
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -190,3 +292,7 @@ class TestParser:
     def test_rejects_unknown_engine(self):
         with pytest.raises(SystemExit):
             main(["train", "--dataset", "cora", "--engine", "magic"])
+
+    def test_rejects_unknown_serve_mode(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--dataset", "cora", "--serve-mode", "magic"])
