@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Enforce that ``engines/base.py`` stays a thin façade.
+
+The unified-execution refactor moved the executor, accountant, plan
+builder, and program compiler out of ``engines/base.py``; what remains
+is validation, plan orchestration, and one-line dispatch shims.  This
+check fails CI if the façade grows back past the 400-line budget, which
+is the cheap tripwire against re-accreting execution logic into the
+engine base class instead of ``repro.execution``.
+
+Usage: python scripts/check_base_facade.py  (exit 1 on violation)
+"""
+
+import sys
+from pathlib import Path
+
+LIMIT = 400
+FACADE = Path(__file__).resolve().parent.parent / "src/repro/engines/base.py"
+
+
+def main() -> int:
+    lines = FACADE.read_text().count("\n")
+    if lines >= LIMIT:
+        print(
+            f"FAIL: {FACADE.relative_to(FACADE.parents[3])} has {lines} "
+            f"lines (budget: < {LIMIT}).\n"
+            "engines/base.py is a façade over repro.execution -- move new "
+            "logic into the execution package (executor, accountant, plan, "
+            "program, passes) and keep only dispatch shims here."
+        )
+        return 1
+    print(f"ok: engines/base.py is {lines} lines (< {LIMIT})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

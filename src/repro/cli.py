@@ -38,6 +38,9 @@ Commands
     Serving benchmark: batched vs unbatched throughput at identical
     predictions, plus a staleness-bound sweep showing the
     traffic/staleness trade-off.
+``explain-plan``
+    Print the compiled per-layer dataflow program (step kinds, vertex
+    counts, bytes, applied passes) for an engine on a dataset.
 """
 
 from __future__ import annotations
@@ -218,6 +221,25 @@ def cmd_train(args) -> int:
                 "forced_refreshes": history.forced_refreshes,
             }
         write_json(args.json, payload)
+    return 0
+
+
+def cmd_explain_plan(args) -> int:
+    from repro.execution import describe_program, render_program
+
+    _, _, engine = _build(args, args.engine)
+    if getattr(args, "overlap_pass", False):
+        engine.overlap_pass = True
+    try:
+        engine.plan()
+    except OutOfMemoryError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    if args.json:
+        write_json(args.json, describe_program(engine))
+        print(f"program written to {args.json}")
+    else:
+        print(render_program(engine))
     return 0
 
 
@@ -814,6 +836,27 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--json", default=None,
                          help="write the comparison to this JSON file")
 
+    explain = sub.add_parser(
+        "explain-plan",
+        help="print the compiled per-layer dataflow program",
+    )
+    _add_model_args(explain)
+    _add_cluster_args(explain)
+    explain.add_argument("--engine", default="hybrid",
+                         choices=["depcache", "depcomm", "hybrid", "roc"])
+    explain.add_argument("--tau", default=None,
+                         help="staleness bound in epochs ('inf' allowed); "
+                              "omit for no cache")
+    explain.add_argument("--cache-mb", type=float, default=None,
+                         help="cache capacity cap in MB (default unbounded)")
+    explain.add_argument("--cache-policy", default="expectation",
+                         choices=["degree", "lru", "expectation"])
+    explain.add_argument("--overlap-pass", action="store_true",
+                         help="apply the comm/compute overlap program pass")
+    explain.add_argument("--json", default=None,
+                         help="write the program description to this JSON "
+                              "file")
+
     analyze = sub.add_parser(
         "analyze", help="structural report + strategy recommendation"
     )
@@ -977,6 +1020,7 @@ _COMMANDS = {
     "replan-sweep": cmd_replan_sweep,
     "serve": cmd_serve,
     "serve-bench": cmd_serve_bench,
+    "explain-plan": cmd_explain_plan,
 }
 
 

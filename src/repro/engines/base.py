@@ -1,149 +1,82 @@
 """The distributed training engine shared by DepCache / DepComm / Hybrid.
 
-The three dependency-management strategies differ *only* in how each
-worker splits its remote dependencies into a cached set ``R_i^l`` and a
-communicated set ``C_i^l`` (Section 3): everything else -- block
-construction, master-mirror exchanges, the layer-by-layer forward with
-``GetFromDepNbr`` and backward with ``PostToDepNbr``, loss, all-reduce
--- is identical and lives here.  Subclasses implement
-:meth:`BaseEngine.decide_dependencies`.
+The strategies differ *only* in how each worker splits its remote
+dependencies into cached ``R_i^l`` and communicated ``C_i^l`` sets
+(Section 3); subclasses implement :meth:`BaseEngine.decide_dependencies`
+and everything else is shared.
 
-Numerics are real (the autograd substrate computes exact full-batch
-gradients; all engines produce identical parameter updates).  Time is
-modeled: every activity is charged to the cluster timeline per
-DESIGN.md section 5.
+This class is a thin façade over :mod:`repro.execution`: planning
+compiles the :class:`EnginePlan` into the per-layer dataflow
+:class:`~repro.execution.program.Program` (Section 4), numeric paths
+live on the :class:`~repro.execution.executor.LayerExecutor`, timeline
+charging on the :class:`~repro.execution.accountant.LayerAccountant`,
+and optimization passes (:mod:`repro.execution.passes`) annotate the
+program.  The historical hook methods (``_forward``,
+``_charge_forward_layer``, ...) remain as one-line shims so subclass
+overrides and external callers keep working unchanged.  Numerics are
+real; time is modeled per DESIGN.md section 5.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.cache.budget import CACHE_MEMORY_LABEL, CacheConfig
+from repro.cache.budget import CacheConfig
 from repro.cache.historical import HistoricalEmbeddingCache
-from repro.cache.policies import get_policy
 from repro.cluster.spec import ClusterSpec
-from repro.cluster.memory import MemoryTracker
-from repro.cluster.timeline import CPU, GPU, IDLE, NET_RECV, NET_SEND, Timeline
-from repro.comm.scheduler import CacheTraffic, CommOptions, ExchangeStats, run_exchange
-from repro.resilience.faults import WorkerCrashError, WorkerCrashFault
-from repro.resilience.injector import FaultInjector
-from repro.resilience.retry import RetryPolicy
-from repro.core.blocks import LayerBlock, build_block
-from repro.core.mirror import MirrorExchange
+from repro.cluster.timeline import CPU, IDLE, Timeline
+from repro.comm.scheduler import CommOptions, ExchangeStats
+from repro.core.blocks import LayerBlock
 from repro.core.model import GNNModel
 from repro.costmodel.probe import ProbeResult, probe_constants
+from repro.execution.accountant import (
+    BACKWARD_MULTIPLIER,
+    HOST_MEMORY_BYTES,
+    LayerAccountant,
+    account_memory,
+    max_chunk_edges,
+)
+from repro.execution.executor import LayerExecutor
+from repro.execution.passes import run_passes
+from repro.execution.plan import (
+    EnginePlan,
+    EpochReport,
+    build_engine_plan,
+    build_historical_caches,
+)
+from repro.execution.program import Program, compile_program
 from repro.graph.graph import Graph
 from repro.partition.base import Partitioning
 from repro.partition.chunk import chunk_partition
-from repro.tensor import functional as F
-from repro.tensor.tensor import Tensor, no_grad
+from repro.resilience import engine_recovery
+from repro.resilience.faults import WorkerCrashError
+from repro.resilience.injector import FaultInjector
+from repro.resilience.retry import RetryPolicy
 
-# Host (DRAM) budget per worker, scaled like device memory (the paper's
-# nodes have 62 GB).  DepCache keeps its closure tape in host memory.
-HOST_MEMORY_BYTES = 230 * 1024 * 1024
-
-# Fraction of a layer's forward compute charged again during backward.
-BACKWARD_MULTIPLIER = 2.0
-
-
-@dataclass
-class EpochReport:
-    """What one training epoch produced (modeled time + real loss).
-
-    ``comm_bytes`` is the forward mirror-exchange volume actually moved
-    this epoch (refresh traffic included, cache-served traffic not).
-    The cache fields stay zero unless staleness-bounded caching is on:
-    ``cache_hits`` / ``cache_misses`` count entries served stale versus
-    (re-)fetched, ``refresh_bytes`` the re-fetch volume, and
-    ``comm_saved_bytes`` what a cache-free run would additionally have
-    sent.
-    """
-
-    epoch: int
-    epoch_time_s: float
-    loss: float
-    comm_bytes: int
-    forward_time_s: float
-    backward_time_s: float
-    allreduce_time_s: float
-    cache_hits: int = 0
-    cache_misses: int = 0
-    refresh_bytes: int = 0
-    comm_saved_bytes: int = 0
-    cache_refreshed: bool = False
-
-
-@dataclass
-class EnginePlan:
-    """Per-worker, per-layer execution plan (built once, reused)."""
-
-    compute_sets: List[List[np.ndarray]]  # [l-1][worker] -> global ids
-    blocks: List[List[LayerBlock]]  # [l-1][worker]
-    comm_ids: List[List[np.ndarray]]  # [l-1][worker] -> received ids
-    exchanges: List[MirrorExchange]  # [l-1]
-    cached_deps: List[List[np.ndarray]]  # [l-1][worker] -> R_i^l
-    preprocessing_s: float = 0.0
-    device_memory: List[MemoryTracker] = field(default_factory=list)
-    host_memory: List[MemoryTracker] = field(default_factory=list)
-    # Staleness-bounded CACHED sets H_i^l and their refresh exchange
-    # (charged only on refresh epochs); empty without a cache config.
-    stale_deps: List[List[np.ndarray]] = field(default_factory=list)
-    refresh_exchanges: List[MirrorExchange] = field(default_factory=list)
-
-    def total_comm_vertices(self) -> int:
-        return sum(ex.total_vertices for ex in self.exchanges)
-
-    def total_stale_vertices(self) -> int:
-        return sum(ex.total_vertices for ex in self.refresh_exchanges)
-
-    def cache_ratio(self) -> float:
-        cached = sum(len(r) for per_l in self.cached_deps for r in per_l)
-        comm = sum(len(c) for per_l in self.comm_ids for c in per_l)
-        stale = sum(len(h) for per_l in self.stale_deps for h in per_l)
-        total = cached + comm + stale
-        return cached / total if total else 1.0
-
-    def stale_ratio(self) -> float:
-        cached = sum(len(r) for per_l in self.cached_deps for r in per_l)
-        comm = sum(len(c) for per_l in self.comm_ids for c in per_l)
-        stale = sum(len(h) for per_l in self.stale_deps for h in per_l)
-        total = cached + comm + stale
-        return stale / total if total else 0.0
+__all__ = [
+    "BACKWARD_MULTIPLIER", "HOST_MEMORY_BYTES",
+    "BaseEngine", "EnginePlan", "EpochReport",
+]
 
 
 class BaseEngine:
     """Distributed full-batch GNN training over a simulated cluster.
 
-    Parameters
-    ----------
-    graph:
-        Prepared training graph (normalise weights before passing, e.g.
-        ``graph.gcn_normalized()`` for GCN).
-    model:
-        The shared model replica (see :class:`repro.core.model.GNNModel`
-        on why sharing is equivalent to all-reduce data parallelism).
-    cluster:
-        Simulated hardware.
-    partitioning:
-        Vertex-to-worker assignment; default chunk-based.
-    comm:
-        Which of the R/L/P optimizations are on.
+    ``graph`` must be prepared (e.g. ``gcn_normalized()``); ``model`` is
+    the shared replica; ``partitioning`` defaults to chunk-based;
+    ``comm`` selects the R/L/P optimizations; ``overlap_pass`` enables
+    the Section-5.4 comm/compute overlap program pass (off by default,
+    and off means charging is bit-identical to the pre-pass engine).
     """
 
     name = "base"
-    # Chunked execution keeps only one source-chunk of edge tensors in
-    # device memory (NeutronStar's design); non-chunked engines
-    # (DepCache-on-DNN-systems, ROC) keep the whole tape resident.
+    # One source-chunk of edge tensors on the device at a time
+    # (NeutronStar); ROC-style engines keep the whole tape resident.
     chunked_execution = True
-    # Where the autograd tape lives: "host" (NeutronStar caches
-    # intermediates in host memory, Section 5.8) or "device".
-    tape_location = "host"
-    # Multiplier on edge-tape bytes: systems without NeutronStar's
-    # free-after-use chunk management keep extra edge buffers around.
-    tape_multiplier = 1.0
+    tape_location = "host"  # autograd tape home (Section 5.8)
+    tape_multiplier = 1.0  # extra edge buffers sans free-after-use
 
     def __init__(
         self,
@@ -158,6 +91,7 @@ class BaseEngine:
         update_mode: str = "allreduce",
         retry: Optional[RetryPolicy] = None,
         cache_config: Optional[CacheConfig] = None,
+        overlap_pass: bool = False,
     ):
         if update_mode not in ("allreduce", "parameter-server"):
             raise ValueError(
@@ -180,9 +114,9 @@ class BaseEngine:
             raise ValueError("partitioning does not match cluster size")
         self.comm = comm
         self.update_mode = update_mode
-        # Resilience: a truthy (non-empty) fault schedule on the cluster
-        # activates the fault-aware charging paths; otherwise every code
-        # path below is bit-identical to the fault-free engine.
+        self.overlap_pass = bool(overlap_pass)
+        # A truthy fault schedule activates the fault-aware charging
+        # paths; otherwise charging is bit-identical to fault-free.
         if cluster.faults:
             self.faults: Optional[FaultInjector] = FaultInjector(cluster.faults)
             self.retry: Optional[RetryPolicy] = retry or RetryPolicy()
@@ -192,9 +126,8 @@ class BaseEngine:
         self.timeline: Timeline = cluster.make_timeline(record=record_timeline)
         self.mu = mu
         self.memory_limit_bytes = memory_limit_bytes
-        # Staleness-bounded caching (the third dependency mode).  With
-        # no config, every path below is bit-identical to the cache-free
-        # engine -- the same guarantee pattern the fault schedule gives.
+        # Staleness-bounded caching (the third dependency mode); no
+        # config means bit-identical to the cache-free engine.
         self.cache_config = cache_config
         self._hist_caches: Optional[List[HistoricalEmbeddingCache]] = None
         self._last_refresh_epoch: Optional[int] = None
@@ -206,11 +139,13 @@ class BaseEngine:
         self.dims = model.dims()
         self.num_layers = model.num_layers
         self.constants: Optional[ProbeResult] = None
-        # Per-worker effective constants (online re-planning): the
-        # health monitor scales the probed constants for degraded
-        # workers; empty means every worker plans with self.constants.
+        # Per-worker effective constants from the health monitor;
+        # empty means every worker plans with self.constants.
         self.constants_overrides: Dict[int, ProbeResult] = {}
         self.plan_: Optional[EnginePlan] = None
+        self.program_: Optional[Program] = None
+        self.executor = LayerExecutor(self)
+        self.accountant = LayerAccountant(self)
         self._epoch = 0
         # Position lookup of every vertex inside its owner's sorted set.
         self._owner_pos = np.zeros(graph.num_vertices, dtype=np.int64)
@@ -218,19 +153,15 @@ class BaseEngine:
             part = self.partitioning.part(w)
             self._owner_pos[part] = np.arange(len(part))
 
-    # ------------------------------------------------------------------
-    # Planning
-    # ------------------------------------------------------------------
+    # -- planning (compiles the plan into the dataflow program) ---
     def decide_dependencies(
         self, worker: int
     ) -> Tuple[List[np.ndarray], List[np.ndarray], float]:
         """Split each layer's remote deps into (cached, communicated).
 
-        Returns ``(cached_per_layer, communicated_per_layer,
-        preprocessing_seconds)``; both lists are indexed ``[l-1]``.
-        Cache-aware engines may return a 4-tuple ``(cached,
-        communicated, stale_cached, preprocessing_seconds)`` whose third
-        element is the staleness-bounded CACHED set per layer.
+        Returns ``(cached_per_layer, communicated_per_layer, prep_s)``,
+        lists indexed ``[l-1]``; cache-aware engines may return a
+        4-tuple with the staleness-bounded CACHED set third.
         """
         raise NotImplementedError
 
@@ -240,135 +171,33 @@ class BaseEngine:
             return self.plan_
         if self.constants is None:
             # Probe with the optimised communication path: Algorithm 4's
-            # t_c is the steady-state byte cost; congestion and mutex
-            # overheads are configuration artefacts the greedy should
-            # not over-react to (they cascade into all-cache decisions).
+            # t_c is the steady-state byte cost, not congestion/mutex
+            # artefacts (those cascade into all-cache decisions).
             self.constants = probe_constants(self.cluster, self.model)
-        m = self.cluster.num_workers
-        L = self.num_layers
-        graph = self.graph
-
-        cached_all: List[List[np.ndarray]] = [[] for _ in range(L)]
-        decisions: List[Dict[int, np.ndarray]] = [dict() for _ in range(L)]
-        stale_decisions: List[Dict[int, np.ndarray]] = [dict() for _ in range(L)]
-        preprocessing = 0.0
-        empty = np.empty(0, dtype=np.int64)
-        for w in range(m):
-            result = self.decide_dependencies(w)
-            if len(result) == 4:
-                cached, communicated, stale, prep_s = result
-            else:
-                cached, communicated, prep_s = result
-                stale = [empty] * L
-            preprocessing = max(preprocessing, prep_s)  # workers run in parallel
-            for l in range(L):
-                cached_all[l].append(cached[l])
-                decisions[l][w] = communicated[l]
-                stale_decisions[l][w] = stale[l]
-
-        # Derive compute sets top-down: a dependency in C is received, a
-        # dependency in H is served from the historical cache (received
-        # only on refresh epochs), a dependency in R (or any remote
-        # input outside the decided set, i.e. cached-subtree interior)
-        # is computed locally.
-        compute_sets: List[List[np.ndarray]] = [[None] * m for _ in range(L)]
-        comm_ids: List[List[np.ndarray]] = [[None] * m for _ in range(L)]
-        stale_ids: List[List[np.ndarray]] = [[None] * m for _ in range(L)]
-        blocks: List[List[LayerBlock]] = [[None] * m for _ in range(L)]
-        for w in range(m):
-            owned = self.partitioning.part(w)
-            need = owned
-            for l in range(L, 0, -1):
-                compute_sets[l - 1][w] = need
-                block = build_block(graph, need, l)
-                blocks[l - 1][w] = block
-                remote_inputs = block.input_vertices[
-                    self.assignment[block.input_vertices] != w
-                ]
-                comm = np.intersect1d(remote_inputs, decisions[l - 1][w])
-                comm_ids[l - 1][w] = comm
-                stale = np.intersect1d(remote_inputs, stale_decisions[l - 1][w])
-                stale_ids[l - 1][w] = stale
-                local_remote = np.setdiff1d(
-                    np.setdiff1d(remote_inputs, comm), stale
-                )
-                if l > 1:
-                    need = np.union1d(owned, local_remote)
-
-        exchanges = [
-            MirrorExchange(self.assignment, comm_ids[l], m) for l in range(L)
-        ]
-        refresh_exchanges = [
-            MirrorExchange(self.assignment, stale_ids[l], m) for l in range(L)
-        ]
-        plan = EnginePlan(
-            compute_sets=compute_sets,
-            blocks=blocks,
-            comm_ids=comm_ids,
-            exchanges=exchanges,
-            cached_deps=cached_all,
-            preprocessing_s=preprocessing,
-            stale_deps=stale_ids,
-            refresh_exchanges=refresh_exchanges,
-        )
+        plan = build_engine_plan(self)
         self._account_memory(plan)
         self.plan_ = plan
-        self._build_lookups(plan)
-        self._build_historical_caches(plan)
+        self.program_ = run_passes(compile_program(self, plan), self)
+        self._hist_caches = build_historical_caches(self, plan)
         return plan
 
-    def _build_lookups(self, plan: EnginePlan) -> None:
-        """Per (layer, worker) masks/positions for gradient routing."""
-        n = self.graph.num_vertices
-        m = self.cluster.num_workers
-        self._pos_in_compute = [
-            [None] * m for _ in range(self.num_layers)
-        ]
-        for l in range(self.num_layers):
-            for w in range(m):
-                pos = np.full(n, -1, dtype=np.int64)
-                ids = plan.compute_sets[l][w]
-                pos[ids] = np.arange(len(ids))
-                self._pos_in_compute[l][w] = pos
-        # Row positions of the stale-cached set inside each block's
-        # input rows (None where the set is empty).
-        self._stale_rows: List[List[Optional[np.ndarray]]] = [
-            [None] * m for _ in range(self.num_layers)
-        ]
-        for l in range(self.num_layers):
-            for w in range(m):
-                stale = plan.stale_deps[l][w]
-                if stale is None or len(stale) == 0:
-                    continue
-                block = plan.blocks[l][w]
-                rows = np.flatnonzero(np.isin(block.input_vertices, stale))
-                self._stale_rows[l][w] = rows
+    @property
+    def _pos_in_compute(self) -> List[List[np.ndarray]]:
+        """Per (layer, worker) vertex -> compute-set row (-1 if absent)."""
+        return self.program_.pos_in_compute
 
-    def _build_historical_caches(self, plan: EnginePlan) -> None:
-        """One per-worker bounded-staleness store, sized by the plan."""
-        if self.cache_config is None or plan.total_stale_vertices() == 0:
-            self._hist_caches = None
-            return
-        eviction = get_policy(self.cache_config.policy).runtime_eviction
-        self._hist_caches = [
-            HistoricalEmbeddingCache(
-                self.num_layers, self.cache_config.tau, eviction=eviction
-            )
-            for _ in range(self.cluster.num_workers)
-        ]
+    @property
+    def _stale_rows(self) -> List[List[Optional[np.ndarray]]]:
+        """Per (layer, worker) block-input row positions of H_i^l."""
+        return self.program_.stale_rows
 
     @property
     def _cache_active(self) -> bool:
         return self._hist_caches is not None
 
     def _constants_for(self, worker: int) -> Optional[ProbeResult]:
-        """Effective cost-model constants for ``worker``'s planning.
-
-        Health-monitor overrides (observed stragglers / degraded links)
-        take precedence over the cluster-wide probe; with no overrides
-        this is exactly ``self.constants``, so the default path is
-        bit-identical to pre-elastic behavior.
-        """
+        """Effective cost-model constants for ``worker``'s planning
+        (health-monitor overrides win; else the cluster-wide probe)."""
         return self.constants_overrides.get(worker, self.constants)
 
     def replan(
@@ -376,16 +205,15 @@ class BaseEngine:
     ) -> EnginePlan:
         """Re-run dependency planning mid-training (online re-planning).
 
-        Discards the current plan, re-decides every worker's R/C/H sets
-        (with ``constants_overrides`` as per-worker effective constants
-        when given), charges the new plan's preprocessing to every
-        worker's CPU clock, and barriers.  Historical caches restart
-        cold, so the next epoch is a refresh epoch -- re-planning never
-        serves stale entries stamped under the old plan.
+        Discards plan and program, re-decides R/C/H sets, charges the
+        new preprocessing, barriers.  Historical caches restart cold, so
+        the next epoch refreshes -- re-planning never serves stale
+        entries stamped under the old plan.
         """
         if constants_overrides is not None:
             self.constants_overrides = dict(constants_overrides)
         self.plan_ = None
+        self.program_ = None
         plan = self.plan()
         if plan.preprocessing_s > 0:
             for w in range(self.cluster.num_workers):
@@ -406,6 +234,7 @@ class BaseEngine:
             update_mode=self.update_mode,
             retry=self.retry,
             cache_config=self.cache_config,
+            overlap_pass=self.overlap_pass,
         )
 
     def respawn(
@@ -413,12 +242,10 @@ class BaseEngine:
     ) -> "BaseEngine":
         """A fresh engine of the same class on a reshaped cluster.
 
-        Shares the graph and the *model object* (so an optimizer bound
-        to ``model.parameters()`` stays valid across an elastic shrink
-        or rejoin) and inherits the probed constants -- planning on the
-        new shape reuses the same T_v/T_e/T_c the old plan was built
-        with.  The new engine's timeline starts at zero; the elastic
-        layer advances it to the handover point.
+        Shares the graph and the *model object* (optimizers stay valid
+        across an elastic reshape) and inherits the probed constants;
+        the new timeline starts at zero and the elastic layer advances
+        it to the handover point.
         """
         engine = type(self)(
             self.graph,
@@ -430,9 +257,7 @@ class BaseEngine:
         engine.constants = self.constants
         return engine
 
-    # ------------------------------------------------------------------
-    # Resilience: fault-aware lookups, crash detection, re-provisioning
-    # ------------------------------------------------------------------
+    # -- resilience: fault-aware lookups, crashes, re-provisioning 
     def _device(self, worker: int):
         """The device profile ``worker`` experiences *now* (stragglers)."""
         if self.faults is None:
@@ -442,13 +267,9 @@ class BaseEngine:
         )
 
     def _sync(self) -> float:
-        """Barrier + crash detection (the failure detector fires here).
-
-        BSP layer barriers are where a dead worker becomes observable:
-        everyone else arrives, the detector times out, and the engine
-        surfaces :class:`WorkerCrashError` for the recovery policy
-        (:mod:`repro.training.resilient`) to handle.
-        """
+        """Barrier + crash detection: a dead worker becomes observable
+        here and surfaces as :class:`WorkerCrashError` for the recovery
+        policy (:mod:`repro.training.resilient`) to handle."""
         t = self.timeline.barrier()
         if self.faults is None:
             return t
@@ -461,95 +282,35 @@ class BaseEngine:
         raise WorkerCrashError(fault, self.timeline.barrier())
 
     def reprovision_bytes(self, worker: int) -> int:
-        """Dependency state a replacement for ``worker`` must re-fetch.
-
-        Every engine re-transfers the worker's own partition (features +
-        parameters); on top of that comes the engine-specific dependency
-        state: DepCache must re-materialise its cached L-hop closures
-        (features of every cached vertex plus the replicated adjacency),
-        while DepComm re-registers mirrors and fetches nothing -- the
-        churn-side of the hybrid trade-off.
-        """
-        plan = self.plan()
-        feat_bytes = self.graph.feature_dim * 4
-        owned = self.partitioning.part(worker)
-        total = len(owned) * feat_bytes + self.model.parameter_bytes()
-        for l in range(self.num_layers):
-            total += len(plan.cached_deps[l][worker]) * feat_bytes
-            block = plan.blocks[l][worker]
-            total += block.num_edges * 12  # replicated adjacency (src,dst,w)
-            # Historical-cache entries are re-materialised too (the
-            # replacement starts cold and must fetch exact values).
-            total += len(plan.stale_deps[l][worker]) * self.dims[l] * 4
-        return int(total)
+        """Dependency state a replacement for ``worker`` must re-fetch."""
+        return engine_recovery.reprovision_bytes(self, worker)
 
     def recover_from_crash(
         self, crash, provision_s: float = 0.05
     ) -> Tuple[float, int]:
-        """Charge a rollback-restart re-provision to the timeline.
+        """Charge a rollback-restart re-provision; ``(seconds, bytes)``.
 
-        Models the replacement worker being provisioned, peers streaming
-        the partition plus cached dependency state to it, and the
-        preprocessing (probe + Algorithm 4) re-running; every surviving
-        worker idles at the re-admission barrier meanwhile.  Returns
-        ``(recovery_seconds, refetch_bytes)``; the caller is responsible
-        for rolling model/optimizer state back to the last checkpoint.
+        See :func:`repro.resilience.engine_recovery.recover_from_crash`.
         """
-        fault = crash.fault if isinstance(crash, WorkerCrashError) else crash
-        if not isinstance(fault, WorkerCrashFault):
-            raise TypeError(f"expected a crash fault, got {fault!r}")
-        if self.faults is None:
-            raise RuntimeError("engine has no fault schedule to recover from")
-        worker = fault.worker
-        t0 = self.timeline.barrier()
-        refetch = self.reprovision_bytes(worker)
-        network = self.cluster.network
-        if provision_s > 0:
-            self.timeline.advance(worker, IDLE, provision_s)
-        self.timeline.advance(
-            worker, NET_RECV, network.wire_time(refetch), num_bytes=refetch
-        )
-        plan = self.plan()
-        if plan.preprocessing_s > 0:
-            self.timeline.advance(worker, CPU, plan.preprocessing_s)
-        self.faults.schedule.mark_recovered(fault)
-        if self._cache_active:
-            # The replacement's historical cache restarts cold; refresh
-            # cluster-wide next epoch so everyone is exact again.
-            self._hist_caches[worker].invalidate()
-            self._force_refresh = True
-        t1 = self.timeline.barrier()  # survivors idle until re-admission
-        return t1 - t0, refetch
+        return engine_recovery.recover_from_crash(self, crash, provision_s)
 
     def rollback_to_epoch(self, epoch: int) -> None:
-        """Reset the epoch counter after a checkpoint restore.
-
-        The modeled clock is *not* rewound -- lost work stays on the
-        timeline -- but replayed epochs report their logical numbers.
-        """
+        """Reset the epoch counter after a checkpoint restore (the
+        modeled clock is *not* rewound -- lost work stays charged)."""
         if epoch < 0:
             raise ValueError(f"epoch must be non-negative, got {epoch}")
         self._epoch = int(epoch)
 
-    # ------------------------------------------------------------------
-    # Staleness-bounded caching lifecycle
-    # ------------------------------------------------------------------
+    # -- staleness-bounded caching lifecycle ----------------------
     def force_refresh(self) -> None:
-        """Make the next epoch a refresh epoch (staleness-accuracy guard).
-
-        The trainer calls this when validation loss regresses under a
-        stale cache; a no-op without a cache config.
-        """
+        """Make the next epoch a refresh epoch (staleness-accuracy
+        guard); a no-op without a cache config."""
         self._force_refresh = True
 
     def _begin_epoch_cache(self) -> bool:
-        """Decide whether this epoch re-fetches the CACHED sets.
-
-        Refresh fires when the cache is cold, the staleness bound
-        ``tau`` has elapsed since the last refresh, ``tau`` is 0 (always
-        exact), or a refresh was forced.  Returns the decision, also
-        kept on ``self._cache_refreshing`` for gather/grad routing.
-        """
+        """Decide whether this epoch re-fetches the CACHED sets: fires
+        when the cache is cold, ``tau`` elapsed or is 0, or a refresh
+        was forced.  Kept on ``self._cache_refreshing``."""
         if not self._cache_active:
             self._cache_refreshing = False
             return False
@@ -566,555 +327,71 @@ class BaseEngine:
             self._force_refresh = False
         return self._cache_refreshing
 
-    # ------------------------------------------------------------------
-    # Memory model
-    # ------------------------------------------------------------------
-    def _account_memory(self, plan: EnginePlan) -> None:
-        """Register resident bytes; raises OutOfMemoryError when over."""
-        m = self.cluster.num_workers
-        device_budget = self.cluster.device.memory_bytes
-        plan.device_memory = [MemoryTracker(w, device_budget) for w in range(m)]
-        plan.host_memory = [MemoryTracker(w, HOST_MEMORY_BYTES) for w in range(m)]
-        for w in range(m):
-            device = plan.device_memory[w]
-            host = plan.host_memory[w]
-            tape = host if self.tape_location == "host" else device
-            # Features resident for every locally available layer-1
-            # input (stale-cached rows are accounted as cache entries).
-            feat_rows = (
-                plan.blocks[0][w].num_inputs
-                - len(plan.comm_ids[0][w])
-                - len(plan.stale_deps[0][w])
-            )
-            tape.allocate(feat_rows * self.dims[0] * 4, "features")
-            # Historical-embedding entries live in host memory alongside
-            # the DepCache closures they share the budget with.
-            cache_bytes = sum(
-                len(plan.stale_deps[l][w]) * self.dims[l] * 4
-                for l in range(self.num_layers)
-            )
-            if cache_bytes:
-                host.allocate(cache_bytes, CACHE_MEMORY_LABEL)
-            peak_chunk = 0
-            for l in range(1, self.num_layers + 1):
-                block = plan.blocks[l - 1][w]
-                layer = self.model.layer(l)
-                # Activations (inputs + outputs) live on the tape until
-                # backward.
-                tape.allocate(
-                    block.num_inputs * self.dims[l - 1] * 4
-                    + block.num_outputs * self.dims[l] * 4,
-                    f"activations_l{l}",
-                )
-                edge_bytes = int(
-                    layer.edge_tensor_bytes(block) * self.tape_multiplier
-                )
-                if self.chunked_execution:
-                    # Tape edge tensors live in host memory; the device
-                    # holds one source-chunk working set at a time.
-                    tape.allocate(edge_bytes, f"edge_tape_l{l}")
-                    chunk_edges = self._max_chunk_edges(plan, l, w)
-                    if block.num_edges:
-                        chunk_bytes = int(
-                            edge_bytes * chunk_edges / block.num_edges
-                        )
-                    else:
-                        chunk_bytes = 0
-                    io_bytes = (
-                        chunk_edges * 12
-                        + block.num_outputs * (self.dims[l - 1] + self.dims[l]) * 4
-                    )
-                    peak_chunk = max(peak_chunk, chunk_bytes + io_bytes)
-                else:
-                    # Whole tape resident on the executing device.
-                    tape.allocate(edge_bytes, f"edge_tape_l{l}")
-            if self.chunked_execution:
-                # A chunk that doesn't fit is subdivided further (the
-                # point of chunked execution: "only needs to load a
-                # chunk ... at a time"), so the working set is capped by
-                # the budget rather than OOMing the device.
-                device.allocate(
-                    min(peak_chunk, int(device.budget_bytes * 0.8)),
-                    "chunk_working_set",
-                )
-
-    def _max_chunk_edges(self, plan: EnginePlan, l: int, w: int) -> int:
-        """Largest per-source-worker edge chunk in worker ``w``'s block."""
-        block = plan.blocks[l - 1][w]
-        if block.num_edges == 0:
-            return 0
-        owners = self.assignment[block.edge_src_global]
-        counts = np.bincount(owners, minlength=self.cluster.num_workers)
-        return int(counts.max())
-
-    # ------------------------------------------------------------------
-    # Epoch execution
-    # ------------------------------------------------------------------
+    # -- execution shims: numeric paths on the executor.  Real methods
+    # (not re-exports) so subclass overrides / super() chains compose.
     def run_epoch(self, optimizer=None) -> EpochReport:
         """One full-batch training epoch (forward, loss, backward, update)."""
-        plan = self.plan()
-        m = self.cluster.num_workers
-        refreshed = self._begin_epoch_cache()
-        self._forward_stats = []
-        t_start = self._sync()
+        return self.executor.run_epoch(optimizer=optimizer)
 
-        self._in_training_forward = True
-        try:
-            h_values, in_tensors, out_tensors = self._forward(plan, training=True)
-        finally:
-            self._in_training_forward = False
-        loss_value, loss_tensors = self._compute_loss(plan, out_tensors)
-        t_forward = self._sync()
-
-        self._backward(plan, in_tensors, out_tensors, loss_tensors)
-        t_backward = self._sync()
-
-        self._charge_allreduce()
-        if optimizer is not None:
-            optimizer.step()
-            optimizer.zero_grad()
-        t_end = self._sync()
-
-        self._epoch += 1
-        stats = self._forward_stats
-        return EpochReport(
-            epoch=self._epoch,
-            epoch_time_s=t_end - t_start,
-            loss=loss_value,
-            comm_bytes=sum(s.total_bytes for s in stats),
-            forward_time_s=t_forward - t_start,
-            backward_time_s=t_backward - t_forward,
-            allreduce_time_s=t_end - t_backward,
-            cache_hits=sum(s.cache_hits for s in stats),
-            cache_misses=sum(s.cache_misses for s in stats),
-            refresh_bytes=sum(s.refresh_bytes for s in stats),
-            comm_saved_bytes=sum(s.saved_bytes for s in stats),
-            cache_refreshed=refreshed,
-        )
-
-    # -- forward -------------------------------------------------------
     def _forward(self, plan: EnginePlan, training: bool):
-        m = self.cluster.num_workers
-        h_values: List[List[np.ndarray]] = [
-            [None] * m for _ in range(self.num_layers + 1)
-        ]
-        in_tensors: List[List[Tensor]] = [
-            [None] * m for _ in range(self.num_layers)
-        ]
-        out_tensors: List[List[Tensor]] = [
-            [None] * m for _ in range(self.num_layers)
-        ]
-        for l in range(1, self.num_layers + 1):
-            self._charge_forward_layer(plan, l)
-            layer = self.model.layer(l)
-            for w in range(m):
-                block = plan.blocks[l - 1][w]
-                rows = self._gather_inputs(plan, h_values, l, w, block)
-                h_in = Tensor(rows, requires_grad=training)
-                if training:
-                    out = layer.forward(block, h_in)
-                else:
-                    with no_grad():
-                        out = layer.forward(block, h_in)
-                h_values[l][w] = out.data
-                in_tensors[l - 1][w] = h_in
-                out_tensors[l - 1][w] = out
-            self._sync()
-        return h_values, in_tensors, out_tensors
+        return self.executor.forward(plan, training)
 
-    def _gather_inputs(
-        self,
-        plan: EnginePlan,
-        h_values: List[List[np.ndarray]],
-        l: int,
-        w: int,
-        block: LayerBlock,
-    ) -> np.ndarray:
-        """Assemble h^{l-1} rows for a block (GetFromDepNbr).
+    def _gather_inputs(self, plan, h_values, l, w, block: LayerBlock):
+        return self.executor.gather_inputs(plan, h_values, l, w, block)
 
-        Numerically, rows come from the feature matrix (layer 1) or from
-        the producing worker's stored output (redundant copies are
-        bit-identical, so reading the owner's copy is exact).
-        """
-        ids = block.input_vertices
-        if l == 1:
-            # Features are static, so a "stale" cached feature row is
-            # bit-identical to a fresh fetch; no override needed.
-            return self.graph.features[ids]
-        rows = np.empty((len(ids), self.dims[l - 1]), dtype=np.float32)
-        pos_local = self._pos_in_compute[l - 2][w][ids]
-        local = pos_local >= 0
-        if local.any():
-            rows[local] = h_values[l - 1][w][pos_local[local]]
-        remote_ids = ids[~local]
-        if len(remote_ids):
-            owners = self.assignment[remote_ids]
-            for j in np.unique(owners):
-                sel = owners == j
-                pos = self._pos_in_compute[l - 2][j][remote_ids[sel]]
-                if (pos < 0).any():
-                    raise RuntimeError(
-                        "owner did not compute a vertex it owns (plan bug)"
-                    )
-                rows[np.where(~local)[0][sel]] = h_values[l - 1][j][pos]
-        self._apply_historical_cache(l, w, block, rows)
-        return rows
+    def _apply_historical_cache(self, l, w, block: LayerBlock, rows) -> None:
+        self.executor.apply_historical_cache(l, w, block, rows)
 
-    def _apply_historical_cache(
-        self, l: int, w: int, block: LayerBlock, rows: np.ndarray
-    ) -> None:
-        """Serve/refresh worker ``w``'s stale-cached rows for layer ``l``.
-
-        ``rows`` arrives holding the exact (owner-computed) values.  On a
-        training refresh epoch the stale set's rows are stored into the
-        historical cache (exact, newly stamped).  Otherwise any entry
-        still within the staleness bound overrides its exact row --
-        that is the bounded-staleness approximation; expired or missing
-        entries keep the exact value ("exact value on miss").
-        """
-        if not self._cache_active or l < 2:
-            return
-        srows = self._stale_rows[l - 1][w]
-        if srows is None or len(srows) == 0:
-            return
-        hist = self._hist_caches[w]
-        sids = block.input_vertices[srows]
-        if self._cache_refreshing and self._in_training_forward:
-            hist.store(l, sids, rows[srows], self._epoch)
-            return
-        fresh, cached_rows = hist.lookup(l, sids, self._epoch)
-        if cached_rows is not None:
-            rows[srows[fresh]] = cached_rows
-
-    # -- loss ----------------------------------------------------------
     def _compute_loss(self, plan, out_tensors):
-        m = self.cluster.num_workers
-        train_mask = self.graph.train_mask
-        if train_mask is None:
-            raise ValueError("graph has no train mask; call set_split()")
-        total_train = int(train_mask.sum())
-        loss_tensors = []
-        loss_value = 0.0
-        for w in range(m):
-            owned = self.partitioning.part(w)
-            mine = owned[train_mask[owned]]
-            if len(mine) == 0:
-                loss_tensors.append(None)
-                continue
-            rows = self._pos_in_compute[self.num_layers - 1][w][mine]
-            logits = out_tensors[self.num_layers - 1][w][rows]
-            log_probs = F.log_softmax(logits, axis=-1)
-            picked = log_probs[
-                (np.arange(len(mine)), self.graph.labels[mine])
-            ]
-            loss_w = -picked.sum() / float(total_train)
-            loss_tensors.append(loss_w)
-            loss_value += float(loss_w.data)
-            # Prediction + loss cost: a softmax over the classes.
-            flops = 6.0 * len(mine) * self.dims[-1]
-            self.timeline.advance(w, GPU, self._device(w).dense_time(flops))
-        return loss_value, loss_tensors
+        return self.executor.compute_loss(plan, out_tensors)
 
-    # -- backward ------------------------------------------------------
-    def _backward(self, plan, in_tensors, out_tensors, loss_tensors):
-        m = self.cluster.num_workers
-        # Pending output gradients per (layer, worker), aligned with the
-        # worker's compute set rows.
-        grad_acc: List[List[Optional[np.ndarray]]] = [
-            [None] * m for _ in range(self.num_layers)
-        ]
-        for l in range(self.num_layers, 0, -1):
-            for w in range(m):
-                if l == self.num_layers:
-                    if loss_tensors[w] is not None:
-                        loss_tensors[w].backward()
-                else:
-                    seed = grad_acc[l - 1][w]
-                    if seed is None:
-                        continue
-                    out_tensors[l - 1][w].backward(seed)
-                if l > 1:
-                    grad_in = in_tensors[l - 1][w].grad
-                    if grad_in is not None:
-                        self._route_input_grads(plan, grad_acc, l, w, grad_in)
-            self._charge_backward_layer(plan, l)
-            self._sync()
+    def _backward(self, plan, in_tensors, out_tensors, loss_tensors) -> None:
+        self.executor.backward(plan, in_tensors, out_tensors, loss_tensors)
 
-    def _route_input_grads(self, plan, grad_acc, l, w, grad_rows):
-        """PostToDepNbr: push input grads to whoever computed the value.
-
-        Rows served from the historical cache on a non-refresh epoch are
-        treated as constants: their value was not produced by the owner
-        this epoch, so no gradient flows back (the standard historical-
-        embedding approximation).  On refresh epochs the stale set's
-        inputs are the owners' current values and gradients flow
-        normally -- which is what makes ``tau = 0`` bit-identical to
-        DepComm.
-        """
-        block = plan.blocks[l - 1][w]
-        ids = block.input_vertices
-        pos_local = self._pos_in_compute[l - 2][w][ids]
-        local = pos_local >= 0
-        self._accumulate(plan, grad_acc, l - 2, w, pos_local[local], grad_rows[local])
-        push = ~local
-        if self._cache_active and not self._cache_refreshing:
-            srows = self._stale_rows[l - 1][w]
-            if srows is not None and len(srows):
-                push = push.copy()
-                push[srows] = False
-        remote_ids = ids[push]
-        if len(remote_ids) == 0:
-            return
-        remote_rows = grad_rows[push]
-        owners = self.assignment[remote_ids]
-        for j in np.unique(owners):
-            sel = owners == j
-            pos = self._pos_in_compute[l - 2][j][remote_ids[sel]]
-            self._accumulate(plan, grad_acc, l - 2, j, pos, remote_rows[sel])
+    def _route_input_grads(self, plan, grad_acc, l, w, grad_rows) -> None:
+        self.executor.route_input_grads(plan, grad_acc, l, w, grad_rows)
 
     def _accumulate(self, plan, grad_acc, layer_idx, worker, positions, rows):
-        if len(positions) == 0:
-            return
-        acc = grad_acc[layer_idx][worker]
-        if acc is None:
-            shape = (
-                len(plan.compute_sets[layer_idx][worker]),
-                self.dims[layer_idx + 1],
-            )
-            acc = np.zeros(shape, dtype=np.float32)
-            grad_acc[layer_idx][worker] = acc
-        np.add.at(acc, positions, rows)
+        self.executor.accumulate(plan, grad_acc, layer_idx, worker, positions, rows)
 
-    # ------------------------------------------------------------------
-    # Timing charges
-    # ------------------------------------------------------------------
-    def _layer_compute_split(self, plan: EnginePlan, l: int):
-        """Per-worker (chunk_compute, local_compute, dense) seconds."""
-        m = self.cluster.num_workers
-        chunk_compute = np.zeros((m, m))
-        local_compute = np.zeros(m)
-        dense = np.zeros(m)
-        layer = self.model.layer(l)
-        d_in = self.dims[l - 1]
-        for w in range(m):
-            device = self._device(w)
-            block = plan.blocks[l - 1][w]
-            dense[w] = device.dense_time(layer.dense_flops(block))
-            if block.num_edges == 0:
-                continue
-            sparse_total = layer.sparse_flops(block)
-            comm_set = plan.comm_ids[l - 1][w]
-            stale_set = plan.stale_deps[l - 1][w]
-            # Stale-cached sources count as received: their rows arrive
-            # over the wire on refresh epochs and are staged from the
-            # host-resident cache otherwise, paying the same H2D copy.
-            if len(comm_set) or len(stale_set):
-                received = np.zeros(self.graph.num_vertices, dtype=bool)
-                received[comm_set] = True
-                received[stale_set] = True
-                from_comm = received[block.edge_src_global]
-            else:
-                from_comm = np.zeros(block.num_edges, dtype=bool)
-            owners = self.assignment[block.edge_src_global]
-            per_edge = sparse_total / block.num_edges
-            for j in range(m):
-                sel = from_comm & (owners == j)
-                count = int(sel.sum())
-                if count == 0:
-                    continue
-                vertices = len(plan.exchanges[l - 1].recv_ids.get((j, w), ())) + len(
-                    plan.refresh_exchanges[l - 1].recv_ids.get((j, w), ())
-                )
-                h2d = device.transfer_time(
-                    vertices * d_in * 4 + count * 12
-                )
-                chunk_compute[j, w] = device.sparse_time(per_edge * count) + h2d
-            local_edges = int((~from_comm).sum())
-            if local_edges:
-                h2d = (
-                    device.transfer_time(local_edges * 12)
-                    if self.chunked_execution
-                    else 0.0
-                )
-                local_compute[w] = device.sparse_time(per_edge * local_edges) + h2d
-        return chunk_compute, local_compute, dense
-
-    def _forward_volumes(self, plan: EnginePlan, l: int) -> np.ndarray:
-        """Byte-volume matrix of layer ``l``'s forward exchange."""
-        return plan.exchanges[l - 1].volume_matrix(self.dims[l - 1])
-
-    def _backward_volumes(self, plan: EnginePlan, l: int) -> np.ndarray:
-        """Byte-volume matrix of layer ``l``'s gradient return."""
-        if l > 1:
-            return self._forward_volumes(plan, l).T
-        return np.zeros((self.cluster.num_workers,) * 2)
-
-    def _cache_traffic(self, plan: EnginePlan, l: int, backward: bool) -> Optional[CacheTraffic]:
-        """The stale-cached share of layer ``l``'s exchange, if any."""
-        if not self._cache_active:
-            return None
-        exchange = plan.refresh_exchanges[l - 1]
-        if exchange.total_vertices == 0:
-            return None
-        volumes = exchange.volume_matrix(self.dims[l - 1])
-        if backward:
-            # Gradient return happens only when the fetch happened; no
-            # grads flow into layer-1 inputs (features), matching
-            # _backward_volumes.
-            if l == 1:
-                return None
-            return CacheTraffic(
-                volumes=volumes.T, refresh=self._cache_refreshing, entries=0
-            )
-        return CacheTraffic(
-            volumes=volumes,
-            refresh=self._cache_refreshing,
-            entries=exchange.total_vertices,
-        )
-
-    def _charge_forward_layer(self, plan: EnginePlan, l: int) -> ExchangeStats:
-        volumes = self._forward_volumes(plan, l)
-        chunk_compute, local_compute, dense = self._layer_compute_split(plan, l)
-        stats = run_exchange(
-            self.timeline,
-            self.cluster.network,
-            volumes,
-            chunk_compute=chunk_compute,
-            local_compute=local_compute,
-            options=self.comm,
-            barrier=False,
-            bytes_per_message=self.dims[l - 1] * 4,
-            faults=self.faults,
-            retry=self.retry,
-            cache=self._cache_traffic(plan, l, backward=False),
-        )
-        self._forward_stats.append(stats)
-        for w in range(self.cluster.num_workers):
-            self.timeline.advance(w, GPU, dense[w])
-        return stats
-
-    def _charge_backward_layer(self, plan: EnginePlan, l: int) -> None:
-        chunk_compute, local_compute, dense = self._layer_compute_split(plan, l)
-        backward_mult = BACKWARD_MULTIPLIER
-        compute = (chunk_compute.sum(axis=0) + local_compute + dense) * backward_mult
-        volumes = self._backward_volumes(plan, l)
-        run_exchange(
-            self.timeline,
-            self.cluster.network,
-            volumes,
-            chunk_compute=None,
-            local_compute=compute,
-            options=self.comm,
-            barrier=False,
-            bytes_per_message=self.dims[l - 1] * 4,
-            faults=self.faults,
-            retry=self.retry,
-            cache=self._cache_traffic(plan, l, backward=True),
-        )
-
-    def _charge_allreduce(self) -> None:
-        """Parameter synchronisation: ring all-reduce or parameter server.
-
-        The paper uses synchronous all-reduce and notes the model "is
-        orthogonal to and can be replaced by the Parameter-Server
-        model"; both are implemented (see the update-mode ablation
-        benchmark for the comparison).
-        """
-        m = self.cluster.num_workers
-        if m == 1:
-            return
-        network = self.cluster.network
-        param_bytes = self.model.parameter_bytes()
-        if self.update_mode == "parameter-server":
-            # Every worker pushes gradients to and pulls parameters from
-            # one server whose NIC serialises all m transfers.
-            wire = 2.0 * m * param_bytes / network.bytes_per_s
-            latency = 2.0 * network.latency_s
-        else:
-            # Ring all-reduce: 2 (m-1)/m of the data crosses each link.
-            wire = 2.0 * (m - 1) / m * param_bytes / network.bytes_per_s
-            latency = 2.0 * (m - 1) * network.latency_s
-        if self.faults is not None:
-            # Both collectives are bounded by the slowest participating
-            # link (ring: every link is on the critical path; PS: the
-            # server serialises all transfers).
-            t = self.timeline.makespan
-            schedule = self.faults.schedule
-            divisor = 1.0
-            extra_latency = 0.0
-            for i in range(m):
-                for j in range(m):
-                    if i == j:
-                        continue
-                    d, e = schedule.link_degradation(i, j, t)
-                    divisor = max(divisor, d)
-                    extra_latency = max(extra_latency, e)
-            wire *= divisor
-            hops = 2.0 * (m - 1) if self.update_mode == "allreduce" else 2.0
-            latency += extra_latency * hops
-        for w in range(m):
-            self.timeline.advance(
-                w, NET_SEND, wire + latency, num_bytes=int(param_bytes)
-            )
-        self._sync()
-
-    # ------------------------------------------------------------------
-    # Evaluation and convenience
-    # ------------------------------------------------------------------
     def evaluate(self, mask: Optional[np.ndarray] = None) -> float:
         """Accuracy over ``mask`` (default: test mask), forward-only."""
-        plan = self.plan()
-        if mask is None:
-            mask = self.graph.test_mask
-        if mask is None:
-            raise ValueError("graph has no test mask; call set_split()")
-        h_values, _, out_tensors = self._forward(plan, training=False)
-        correct = 0
-        total = 0
-        L = self.num_layers
-        for w in range(self.cluster.num_workers):
-            owned = self.partitioning.part(w)
-            mine = owned[mask[owned]]
-            if len(mine) == 0:
-                continue
-            rows = self._pos_in_compute[L - 1][w][mine]
-            predictions = h_values[L][w][rows].argmax(axis=1)
-            correct += int((predictions == self.graph.labels[mine]).sum())
-            total += len(mine)
-        return correct / total if total else 0.0
+        return self.executor.evaluate(mask=mask)
+
+    # -- accounting shims: timeline charging on the accountant ----
+    def _layer_compute_split(self, plan: EnginePlan, l: int):
+        return self.accountant.layer_compute_split(plan, l)
+
+    def _forward_volumes(self, plan: EnginePlan, l: int) -> np.ndarray:
+        return self.accountant.forward_volumes(plan, l)
+
+    def _backward_volumes(self, plan: EnginePlan, l: int) -> np.ndarray:
+        return self.accountant.backward_volumes(plan, l)
+
+    def _cache_traffic(self, plan: EnginePlan, l: int, backward: bool):
+        return self.accountant.cache_traffic(plan, l, backward)
+
+    def _charge_forward_layer(self, plan: EnginePlan, l: int) -> ExchangeStats:
+        return self.accountant.charge_forward_layer(plan, l)
+
+    def _charge_backward_layer(self, plan: EnginePlan, l: int) -> None:
+        self.accountant.charge_backward_layer(plan, l)
+
+    def _charge_allreduce(self) -> None:
+        self.accountant.charge_allreduce()
+
+    def _account_memory(self, plan: EnginePlan) -> None:
+        account_memory(self, plan)
+
+    def _max_chunk_edges(self, plan: EnginePlan, l: int, w: int) -> int:
+        return max_chunk_edges(self, plan, l, w)
 
     def charge_epoch(self) -> float:
-        """Charge one epoch's modeled time WITHOUT numerical execution.
-
-        The timing model depends only on the plan (block sizes, volumes)
-        -- not on tensor values -- so performance benchmarks use this
-        fast path; accuracy experiments use :meth:`run_epoch`.
-        Returns the epoch's modeled seconds.
-        """
-        plan = self.plan()
-        self._begin_epoch_cache()
-        self._forward_stats = []
-        t_start = self._sync()
-        for l in range(1, self.num_layers + 1):
-            self._charge_forward_layer(plan, l)
-            self._sync()
-        # Loss/prediction charge (matches _compute_loss).
-        if self.graph.train_mask is not None:
-            for w in range(self.cluster.num_workers):
-                owned = self.partitioning.part(w)
-                mine = int(self.graph.train_mask[owned].sum())
-                flops = 6.0 * mine * self.dims[-1]
-                self.timeline.advance(
-                    w, GPU, self._device(w).dense_time(flops)
-                )
-        self._sync()
-        for l in range(self.num_layers, 0, -1):
-            self._charge_backward_layer(plan, l)
-            self._sync()
-        self._charge_allreduce()
-        self._epoch += 1
-        return self._sync() - t_start
+        """Charge one epoch's modeled time WITHOUT numerical execution
+        (one accountant implementation, shared with
+        :meth:`epoch_time_estimate`, so the two cannot drift)."""
+        return self.accountant.charge_epoch()
 
     def epoch_time_estimate(self) -> float:
         """Modeled seconds for one epoch (timing-only fast path)."""
-        return self.charge_epoch()
+        return self.accountant.charge_epoch()

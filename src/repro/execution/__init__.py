@@ -1,0 +1,84 @@
+"""The unified execution layer.
+
+Compiles an :class:`~repro.execution.plan.EnginePlan` into an explicit
+per-layer dataflow :class:`~repro.execution.program.Program` (the
+paper's GetFromDepNbr -> ScatterToEdge -> EdgeForward -> GatherByDst ->
+VertexForward decomposition, Section 4) and splits execution into an
+**executor** (numeric values), an **accountant** (modeled time), and a
+**pass pipeline** (plan-level optimizations such as the Section-5.4
+comm/compute overlap).  Training engines, the inference server, and
+replay all execute through this layer.
+"""
+
+from repro.execution.accountant import (
+    BACKWARD_MULTIPLIER,
+    HOST_MEMORY_BYTES,
+    LayerAccountant,
+    account_memory,
+    max_chunk_edges,
+)
+from repro.execution.executor import (
+    LayerExecutor,
+    StalenessBoundedReader,
+    run_closure_forward,
+)
+from repro.execution.explain import describe_program, render_program
+from repro.execution.passes import (
+    OverlapExchangePass,
+    ProgramPass,
+    default_passes,
+    run_passes,
+)
+from repro.execution.plan import (
+    EnginePlan,
+    EpochReport,
+    build_engine_plan,
+    build_historical_caches,
+)
+from repro.execution.program import (
+    ComputeSpec,
+    EdgeForwardStep,
+    ExchangePhase,
+    GatherByDstStep,
+    GetFromDepNbrStep,
+    LayerProgram,
+    Program,
+    ScatterToEdgeStep,
+    VertexForwardStep,
+    WorkerLayerProgram,
+    compile_program,
+    layer_compute_specs,
+)
+
+__all__ = [
+    "BACKWARD_MULTIPLIER",
+    "HOST_MEMORY_BYTES",
+    "ComputeSpec",
+    "EdgeForwardStep",
+    "EnginePlan",
+    "EpochReport",
+    "ExchangePhase",
+    "GatherByDstStep",
+    "GetFromDepNbrStep",
+    "LayerAccountant",
+    "LayerExecutor",
+    "LayerProgram",
+    "OverlapExchangePass",
+    "Program",
+    "ProgramPass",
+    "ScatterToEdgeStep",
+    "StalenessBoundedReader",
+    "VertexForwardStep",
+    "WorkerLayerProgram",
+    "account_memory",
+    "build_engine_plan",
+    "build_historical_caches",
+    "compile_program",
+    "default_passes",
+    "describe_program",
+    "layer_compute_specs",
+    "max_chunk_edges",
+    "render_program",
+    "run_closure_forward",
+    "run_passes",
+]

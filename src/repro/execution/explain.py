@@ -1,0 +1,99 @@
+"""Human- and machine-readable rendering of a compiled program.
+
+Backs the ``repro explain-plan`` CLI command: :func:`describe_program`
+produces a JSON-friendly dict of the per-layer, per-worker dataflow
+(step kinds, vertex counts, bytes, exchange volumes, applied passes),
+:func:`render_program` a terminal layout of the same thing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.execution.program import Program
+
+
+def _step_dict(step) -> Dict[str, object]:
+    d = {"kind": step.kind}
+    for name, value in vars(step).items():
+        d[name] = int(value) if isinstance(value, (int,)) else value
+    return d
+
+
+def describe_program(engine) -> Dict[str, object]:
+    """The compiled program as a JSON-friendly dict."""
+    engine.plan()
+    program: Program = engine.program_
+    layers = []
+    for lp in program.layers:
+        ex = lp.exchange
+        workers = []
+        for wp in lp.workers:
+            workers.append({
+                "worker": wp.worker,
+                "steps": [_step_dict(s) for s in wp.steps],
+                "recv_chunks": ex.recv_chunks(wp.worker),
+                "fold_dense": bool(ex.fold_dense[wp.worker]),
+                "num_stale_rows": (
+                    0 if wp.stale_rows is None else int(len(wp.stale_rows))
+                ),
+            })
+        layers.append({
+            "layer": lp.layer,
+            "exchange_bytes": ex.total_bytes(),
+            "refresh_entries": int(ex.refresh_entries),
+            "bytes_per_message": float(ex.bytes_per_message),
+            "workers": workers,
+        })
+    return {
+        "engine": engine.name,
+        "num_workers": program.num_workers,
+        "num_layers": program.num_layers,
+        "dims": list(program.dims),
+        "passes": list(program.passes),
+        "layers": layers,
+    }
+
+
+def render_program(engine) -> str:
+    """Terminal rendering of :func:`describe_program`."""
+    desc = describe_program(engine)
+    lines: List[str] = []
+    lines.append(
+        f"program: engine={desc['engine']} workers={desc['num_workers']} "
+        f"layers={desc['num_layers']} dims={desc['dims']}"
+    )
+    lines.append(
+        "passes: " + (", ".join(desc["passes"]) if desc["passes"] else "(none)")
+    )
+    for layer in desc["layers"]:
+        lines.append(
+            f"layer {layer['layer']}: exchange {layer['exchange_bytes']} B"
+            + (
+                f", refresh entries {layer['refresh_entries']}"
+                if layer["refresh_entries"]
+                else ""
+            )
+        )
+        for wk in layer["workers"]:
+            gather = wk["steps"][0]
+            vertex = wk["steps"][-1]
+            edge = wk["steps"][2]
+            flags = []
+            if wk["fold_dense"]:
+                flags.append("fold-dense")
+            if wk["num_stale_rows"]:
+                flags.append(f"stale-rows={wk['num_stale_rows']}")
+            suffix = f"  [{', '.join(flags)}]" if flags else ""
+            lines.append(
+                f"  worker {wk['worker']}: "
+                f"GetFromDepNbr(in={gather['num_inputs']} "
+                f"local={gather['num_local']} fetch={gather['num_fetch']} "
+                f"cached={gather['num_cached']} "
+                f"recompute={gather['num_recompute']} "
+                f"fetch_bytes={gather['fetch_bytes']}) -> "
+                f"Scatter/Edge/Gather(edges={edge['num_edges']}) -> "
+                f"VertexForward(out={vertex['num_outputs']})"
+                f" chunks={wk['recv_chunks']}{suffix}"
+            )
+    return "\n".join(lines)

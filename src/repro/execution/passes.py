@@ -1,0 +1,71 @@
+"""Optimization passes over the compiled dataflow program.
+
+Passes annotate the :class:`~repro.execution.program.Program` IR --
+they never touch engine code or the plan -- and the accountant reads
+the annotations at charge time.  That is the point of compiling an
+explicit program: a new optimization is a pass plus an accountant
+interpretation, not engine surgery.
+
+The first real pass is :class:`OverlapExchangePass` (paper Section
+5.4): a multi-chunk exchange leaves the receiver's GPU idle between the
+first chunk landing and the last byte arriving, and the layer's
+VertexForward (dense) work has no dependence on the incoming rows'
+*values* arriving before its own chunk does -- so that window can
+absorb dense time.  The pass only marks where folding is legal
+(2+ incoming chunks); how many seconds actually fold is the
+accountant's call, clamped so wall-clock never increases
+(:meth:`~repro.execution.accountant.LayerAccountant._overlap_saving`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.execution.program import Program
+
+
+class ProgramPass:
+    """A program-to-program transform; mutates the IR in place."""
+
+    name = "pass"
+
+    def run(self, program: Program, engine) -> None:
+        raise NotImplementedError
+
+
+class OverlapExchangePass(ProgramPass):
+    """Mark exchanges whose comm window may absorb VertexForward time.
+
+    Folding is legal only when a worker receives 2+ chunks: with a
+    single incoming chunk there is no post-fill window (the GPU can
+    start nothing until the only chunk lands), so single-chunk
+    exchanges are left untouched -- the pass is a structural no-op
+    there, which the property tests pin.
+    """
+
+    name = "overlap-exchange"
+
+    def run(self, program: Program, engine) -> None:
+        for lp in program.layers:
+            for w in range(program.num_workers):
+                if lp.exchange.recv_chunks(w) >= 2:
+                    lp.exchange.fold_dense[w] = True
+
+
+def default_passes(engine) -> List[ProgramPass]:
+    """The pass list an engine's configuration enables."""
+    if getattr(engine, "overlap_pass", False):
+        return [OverlapExchangePass()]
+    return []
+
+
+def run_passes(
+    program: Program, engine, passes: Optional[List[ProgramPass]] = None
+) -> Program:
+    """Apply ``passes`` (default: the engine's) and record their names."""
+    if passes is None:
+        passes = default_passes(engine)
+    for p in passes:
+        p.run(program, engine)
+        program.passes.append(p.name)
+    return program

@@ -1,0 +1,319 @@
+"""The per-layer dataflow program IR compiled from an :class:`EnginePlan`.
+
+The paper's core architectural claim (Section 4) is that graph ops and
+NN ops decouple into an explicit dataflow::
+
+    GetFromDepNbr -> ScatterToEdge -> EdgeForward -> GatherByDst
+                  -> VertexForward
+
+whose backward is auto-generated (``PostToDepNbr`` mirrors the gather).
+:func:`compile_program` makes that flow first-class: every (layer,
+worker) pair gets a tuple of typed steps recording *where* each input
+row comes from (local read, DepComm fetch over the wire, staleness-
+bounded cached read, DepCache recompute) and how much graph/NN work the
+layer does, plus one :class:`ExchangePhase` per layer for the mirror
+synchronisation.  The IR holds time-invariant quantities only (counts,
+flops, byte volumes); the accountant evaluates them against the device
+profile *at charge time*, so straggler faults and online re-planning
+see current hardware, and optimization passes (:mod:`.passes`) annotate
+the IR instead of patching engine code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.execution.plan import EnginePlan
+
+
+@dataclass(frozen=True)
+class GetFromDepNbrStep:
+    """Assemble a block's input rows, split by provenance.
+
+    ``num_local`` rows are read from the worker's own layer output (or
+    feature matrix), ``num_fetch`` arrive over the wire this layer
+    (DepComm, ``C_i^l``), ``num_cached`` are staleness-bounded cached
+    reads (``H_i^l``), and ``num_recompute`` were produced locally from
+    cached dependency subtrees (DepCache, ``R_i^l`` closure interior).
+    """
+
+    kind = "get_from_dep_nbr"
+    num_inputs: int
+    num_local: int
+    num_fetch: int
+    num_cached: int
+    num_recompute: int
+    fetch_bytes: int
+    cached_bytes: int
+
+
+@dataclass(frozen=True)
+class ScatterToEdgeStep:
+    """Stage source-vertex rows onto the block's edges."""
+
+    kind = "scatter_to_edge"
+    num_edges: int
+
+
+@dataclass(frozen=True)
+class EdgeForwardStep:
+    """Per-edge message computation (the sparse share of the layer)."""
+
+    kind = "edge_forward"
+    num_edges: int
+    sparse_flops: float
+
+
+@dataclass(frozen=True)
+class GatherByDstStep:
+    """Aggregate edge messages per destination vertex."""
+
+    kind = "gather_by_dst"
+    num_edges: int
+    num_outputs: int
+
+
+@dataclass(frozen=True)
+class VertexForwardStep:
+    """Per-vertex NN op (the dense share of the layer)."""
+
+    kind = "vertex_forward"
+    num_outputs: int
+    dense_flops: float
+
+
+@dataclass
+class ComputeSpec:
+    """Static inputs of one worker's layer-compute timing split.
+
+    ``chunk_edges[j]`` / ``chunk_vertices[j]`` describe the work tied to
+    the chunk arriving from source worker ``j`` (edges whose sources are
+    received, vertices crossing the wire including refresh traffic);
+    ``local_edges`` is the communication-independent share.  The
+    accountant turns these into seconds with the *current* device
+    profile, preserving the pre-IR arithmetic bit for bit.
+    """
+
+    sparse_flops: float
+    dense_flops: float
+    num_edges: int
+    d_in: int
+    chunk_edges: np.ndarray
+    chunk_vertices: np.ndarray
+    local_edges: int
+
+
+@dataclass
+class ExchangePhase:
+    """One layer's mirror-synchronisation superstep.
+
+    ``volumes[s, r]`` are the forward fetch bytes, ``refresh_volumes``
+    the staleness-bounded share (moved only on refresh epochs).
+    ``fold_dense[w]`` is pass-written metadata: when set, the accountant
+    may fold worker ``w``'s VertexForward time into this exchange's
+    communication window (see :class:`.passes.OverlapExchangePass`).
+    """
+
+    layer: int
+    volumes: np.ndarray
+    refresh_volumes: np.ndarray
+    bytes_per_message: float
+    refresh_entries: int
+    fold_dense: np.ndarray = field(default=None)
+
+    def __post_init__(self):
+        if self.fold_dense is None:
+            self.fold_dense = np.zeros(self.volumes.shape[0], dtype=bool)
+
+    def recv_chunks(self, worker: int) -> int:
+        """Incoming chunks (distinct senders) for ``worker``."""
+        col = self.volumes[:, worker]
+        return int(sum(1 for j in range(len(col)) if j != worker and col[j] > 0))
+
+    def total_bytes(self) -> int:
+        off = ~np.eye(self.volumes.shape[0], dtype=bool)
+        return int(self.volumes[off].sum())
+
+
+@dataclass
+class WorkerLayerProgram:
+    """The typed steps one worker runs for one layer."""
+
+    worker: int
+    layer: int
+    steps: Tuple
+    compute: ComputeSpec
+    stale_rows: Optional[np.ndarray]  # block-input row positions of H_i^l
+
+
+@dataclass
+class LayerProgram:
+    """One layer of the program: an exchange phase + per-worker steps."""
+
+    layer: int
+    exchange: ExchangePhase
+    workers: List[WorkerLayerProgram]
+
+    @property
+    def compute_specs(self) -> List[ComputeSpec]:
+        return [wp.compute for wp in self.workers]
+
+
+@dataclass
+class Program:
+    """The compiled per-layer dataflow program for one engine plan."""
+
+    num_layers: int
+    num_workers: int
+    dims: List[int]
+    layers: List[LayerProgram]
+    # Runtime gather lookup: pos_in_compute[l][w][v] is vertex v's row
+    # inside worker w's layer-(l+1) compute set, -1 if absent.
+    pos_in_compute: List[List[np.ndarray]]
+    passes: List[str] = field(default_factory=list)
+
+    @property
+    def stale_rows(self) -> List[List[Optional[np.ndarray]]]:
+        return [[wp.stale_rows for wp in lp.workers] for lp in self.layers]
+
+
+def layer_compute_specs(engine, plan: EnginePlan, l: int) -> List[ComputeSpec]:
+    """Extract layer ``l``'s static timing quantities, one per worker."""
+    m = engine.cluster.num_workers
+    layer = engine.model.layer(l)
+    d_in = engine.dims[l - 1]
+    specs = []
+    for w in range(m):
+        block = plan.blocks[l - 1][w]
+        dense_flops = float(layer.dense_flops(block))
+        chunk_edges = np.zeros(m, dtype=np.int64)
+        chunk_vertices = np.zeros(m, dtype=np.int64)
+        local_edges = 0
+        sparse_flops = 0.0
+        if block.num_edges:
+            sparse_flops = float(layer.sparse_flops(block))
+            comm_set = plan.comm_ids[l - 1][w]
+            stale_set = plan.stale_deps[l - 1][w]
+            # Stale-cached sources count as received: their rows arrive
+            # over the wire on refresh epochs and are staged from the
+            # host-resident cache otherwise, paying the same H2D copy.
+            if len(comm_set) or len(stale_set):
+                received = np.zeros(engine.graph.num_vertices, dtype=bool)
+                received[comm_set] = True
+                received[stale_set] = True
+                from_comm = received[block.edge_src_global]
+            else:
+                from_comm = np.zeros(block.num_edges, dtype=bool)
+            owners = engine.assignment[block.edge_src_global]
+            for j in range(m):
+                sel = from_comm & (owners == j)
+                chunk_edges[j] = int(sel.sum())
+                chunk_vertices[j] = len(
+                    plan.exchanges[l - 1].recv_ids.get((j, w), ())
+                ) + len(plan.refresh_exchanges[l - 1].recv_ids.get((j, w), ()))
+            local_edges = int((~from_comm).sum())
+        specs.append(ComputeSpec(
+            sparse_flops=sparse_flops,
+            dense_flops=dense_flops,
+            num_edges=block.num_edges,
+            d_in=d_in,
+            chunk_edges=chunk_edges,
+            chunk_vertices=chunk_vertices,
+            local_edges=local_edges,
+        ))
+    return specs
+
+
+def _gather_step(engine, plan: EnginePlan, l: int, w: int) -> GetFromDepNbrStep:
+    block = plan.blocks[l - 1][w]
+    remote = int((engine.assignment[block.input_vertices] != w).sum())
+    num_fetch = len(plan.comm_ids[l - 1][w])
+    num_cached = len(plan.stale_deps[l - 1][w])
+    d_in = engine.dims[l - 1]
+    return GetFromDepNbrStep(
+        num_inputs=block.num_inputs,
+        num_local=block.num_inputs - remote,
+        num_fetch=num_fetch,
+        num_cached=num_cached,
+        num_recompute=remote - num_fetch - num_cached,
+        fetch_bytes=num_fetch * d_in * 4,
+        cached_bytes=num_cached * d_in * 4,
+    )
+
+
+def compile_program(engine, plan: EnginePlan) -> Program:
+    """Compile ``plan`` into the explicit per-layer dataflow program.
+
+    Byte volumes go through the engine's ``_forward_volumes`` hook so
+    subclasses redefining the communication pattern (ROC's whole-block
+    broadcast) compile their own exchanges.  Optimization passes are
+    applied separately (:func:`.passes.run_passes`).
+    """
+    n = engine.graph.num_vertices
+    m = engine.cluster.num_workers
+    L = engine.num_layers
+
+    pos_in_compute: List[List[np.ndarray]] = [[None] * m for _ in range(L)]
+    for l in range(L):
+        for w in range(m):
+            pos = np.full(n, -1, dtype=np.int64)
+            ids = plan.compute_sets[l][w]
+            pos[ids] = np.arange(len(ids))
+            pos_in_compute[l][w] = pos
+
+    layers: List[LayerProgram] = []
+    for l in range(1, L + 1):
+        layer = engine.model.layer(l)
+        specs = layer_compute_specs(engine, plan, l)
+        refresh_ex = plan.refresh_exchanges[l - 1]
+        exchange = ExchangePhase(
+            layer=l,
+            volumes=engine._forward_volumes(plan, l),
+            refresh_volumes=refresh_ex.volume_matrix(engine.dims[l - 1]),
+            bytes_per_message=engine.dims[l - 1] * 4,
+            refresh_entries=refresh_ex.total_vertices,
+        )
+        workers = []
+        for w in range(m):
+            block = plan.blocks[l - 1][w]
+            stale = plan.stale_deps[l - 1][w]
+            stale_rows = None
+            if stale is not None and len(stale):
+                stale_rows = np.flatnonzero(
+                    np.isin(block.input_vertices, stale)
+                )
+            steps = (
+                _gather_step(engine, plan, l, w),
+                ScatterToEdgeStep(num_edges=block.num_edges),
+                EdgeForwardStep(
+                    num_edges=block.num_edges,
+                    sparse_flops=specs[w].sparse_flops,
+                ),
+                GatherByDstStep(
+                    num_edges=block.num_edges,
+                    num_outputs=block.num_outputs,
+                ),
+                VertexForwardStep(
+                    num_outputs=block.num_outputs,
+                    dense_flops=float(layer.dense_flops(block)),
+                ),
+            )
+            workers.append(WorkerLayerProgram(
+                worker=w,
+                layer=l,
+                steps=steps,
+                compute=specs[w],
+                stale_rows=stale_rows,
+            ))
+        layers.append(LayerProgram(layer=l, exchange=exchange, workers=workers))
+
+    return Program(
+        num_layers=L,
+        num_workers=m,
+        dims=list(engine.dims),
+        layers=layers,
+        pos_in_compute=pos_in_compute,
+    )

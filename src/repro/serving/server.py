@@ -49,9 +49,9 @@ from repro.cache.historical import HistoricalEmbeddingCache
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.timeline import CPU, GPU, NET_RECV, NET_SEND, Timeline
 from repro.comm.scheduler import CommOptions, run_exchange
-from repro.core.blocks import build_block
 from repro.core.model import GNNModel
 from repro.costmodel.probe import ProbeResult, probe_constants
+from repro.execution.executor import StalenessBoundedReader, run_closure_forward
 from repro.graph.graph import Graph
 from repro.graph.khop import khop_closure
 from repro.partition.base import Partitioning
@@ -61,7 +61,6 @@ from repro.serving.batcher import MicroBatch, MicroBatcher
 from repro.serving.planner import RequestPlanner
 from repro.serving.slo import LatencyLedger, RequestRecord, SLOConfig
 from repro.serving.workload import Request
-from repro.tensor.tensor import Tensor, no_grad
 
 _SERVE_MODES = ("auto", "local", "remote")
 
@@ -162,9 +161,12 @@ class InferenceServer:
         )
         # Historical h^L rows, one logical layer, stamped in microseconds
         # of simulated arrival time (tau_s converts to the same unit).
+        # Reads go through the same StalenessBoundedReader the training
+        # gather uses, so the freshness rule cannot fork between paths.
         self.cache = HistoricalEmbeddingCache(
             num_layers=1, tau=self.config.tau_s * 1e6
         )
+        self.reader = StalenessBoundedReader(self.cache)
 
     # ------------------------------------------------------------------
     def serve(self, requests: Sequence[Request]) -> ServingResult:
@@ -296,20 +298,16 @@ class InferenceServer:
         staleness: Dict[int, float] = {}
         stale_if_error: Dict[int, bool] = {}
         for v in distinct:
-            stamp = self.cache.stamp_of(1, v)
-            fresh, rows = self.cache.lookup(1, np.array([v]), key_us[v])
-            if fresh[0]:
-                cached_rows[v] = rows[0]
+            # Serving an expired entry stale beats failing the request
+            # outright when the owner is down ("stale-if-error").
+            row, stamp, served_expired = self.reader.probe(
+                1, v, key_us[v],
+                allow_expired=self.partitioning.owner(v) in dead,
+            )
+            if row is not None:
+                cached_rows[v] = row
                 staleness[v] = (key_us[v] - stamp) / 1e6
-                stale_if_error[v] = False
-            elif stamp is not None and self.partitioning.owner(v) in dead:
-                # Owner is down and the entry merely expired: serving it
-                # stale beats failing the request outright.
-                row = self.cache.peek(1, v)
-                if row is not None:
-                    cached_rows[v] = row
-                    staleness[v] = (key_us[v] - stamp) / 1e6
-                    stale_if_error[v] = True
+                stale_if_error[v] = served_expired
 
         num_cache_hits = sum(
             1 for r in admitted if r.vertex in cached_rows
@@ -338,14 +336,14 @@ class InferenceServer:
                     timeline, network, injector, coordinator, alive, dead,
                     vertex_layers, edge_layers,
                 )
-            rows = self._exact_forward(vertex_layers)
+            rows = run_closure_forward(self.model, self.graph, vertex_layers)
             seed_ids = vertex_layers[0]
             pos = np.searchsorted(seed_ids, np.array(computed, dtype=np.int64))
             for v, p in zip(computed, pos):
                 row = rows[p]
                 cached_rows[v] = row
                 staleness[v] = 0.0
-                self.cache.store(1, np.array([v]), row[None, :], epoch=key_us[v])
+                self.reader.refresh(1, np.array([v]), row[None, :], key_us[v])
         t_compute_end = timeline.now(coordinator)
 
         timeline.record_span(
@@ -502,24 +500,3 @@ class InferenceServer:
             )
             total_bytes += gather_bytes
         return total_bytes
-
-    def _exact_forward(self, vertex_layers) -> np.ndarray:
-        """The real model forward over the union closure (no timing).
-
-        Layer ``l`` computes ``vertex_layers[L - l]`` from the previous
-        layer's output space ``vertex_layers[L - l + 1]`` (a superset of
-        every block input), so the returned ``h^L`` rows are exactly
-        what full-graph inference would produce for the seed vertices.
-        """
-        L = self.num_layers
-        prev_ids = vertex_layers[L]
-        prev = self.graph.features[prev_ids].astype(np.float64)
-        for l in range(1, L + 1):
-            compute_ids = vertex_layers[L - l]
-            block = build_block(self.graph, compute_ids, l)
-            pos = np.searchsorted(prev_ids, block.input_vertices)
-            with no_grad():
-                out = self.model.layer(l).forward(block, Tensor(prev[pos]))
-            prev = out.data
-            prev_ids = compute_ids
-        return prev
