@@ -347,6 +347,7 @@ def _parse_fault_args(args, allow_crash: bool = True, required: bool = True) -> 
 def cmd_chaos(args) -> int:
     from repro.resilience import (
         FaultSchedule,
+        RecoveryExhaustedError,
         RecoveryPolicy,
         RetryPolicy,
         run_chaos,
@@ -374,6 +375,7 @@ def cmd_chaos(args) -> int:
     )
     rows = []
     reports = {}
+    failures = {}
     for engine_name in engines:
         schedule = FaultSchedule(list(faults), seed=args.fault_seed)
         try:
@@ -384,6 +386,20 @@ def cmd_chaos(args) -> int:
             )
         except OutOfMemoryError as err:
             rows.append([engine_name, "OOM", "-", "-", "-", "-", "-", err.label])
+            continue
+        except RecoveryExhaustedError as err:
+            failures[engine_name] = {
+                "error": "recovery_exhausted",
+                "worker": err.fault.worker,
+                "detected_at_s": err.detected_at_s,
+                "recoveries": err.recoveries,
+                "max_recoveries": policy.max_recoveries,
+                "message": str(err),
+            }
+            rows.append([
+                engine_name, "FAILED", "-", "-", "-", "-",
+                f"{err.recoveries} (budget exhausted)", "-",
+            ])
             continue
         reports[engine_name] = report
         rows.append([
@@ -412,9 +428,145 @@ def cmd_chaos(args) -> int:
             "recovery": args.recovery,
             "epochs": args.epochs,
             "engines": {name: r.to_dict() for name, r in reports.items()},
+            "failures": failures,
         }
         write_json(args.json, payload)
-    return 0
+    return 1 if failures else 0
+
+
+def _ops_run_row(res):
+    v, g = res.verdict, res.grade
+    blame = "-"
+    if v is not None:
+        if v.worker is not None:
+            blame = f"worker {v.worker}"
+        elif v.link is not None:
+            src, dst = v.link
+            blame = f"link {src}->{'*' if dst is None else dst}"
+        elif v.layer is not None:
+            blame = f"layer {v.layer}"
+    return [
+        res.problem.name,
+        res.problem.kind,
+        v.kind if v is not None else "missed",
+        blame,
+        f"{g.detection.ttd_s * 1e3:.2f}" if g.detection.detected else "-",
+        f"{g.detection.score:.2f}",
+        f"{g.mitigation.score:.2f}",
+        f"{g.overall:.2f}",
+        "yes" if res.aborted else "no",
+    ]
+
+
+def cmd_ops(args) -> int:
+    from repro.ops import (
+        get_problem,
+        list_problems,
+        load_bundle,
+        replay_bundle,
+        run_problem,
+        save_bundle,
+    )
+
+    if args.ops_command == "list":
+        problems = list_problems()
+        print(render_table(
+            ["problem", "kind", "workload", "mitigation", "description"],
+            [[p.name, p.kind, p.workload, p.mitigation, p.description]
+             for p in problems],
+        ))
+        if args.json:
+            write_json(args.json, {
+                "problems": [p.spec_dict() for p in problems],
+            })
+        return 0
+
+    if args.ops_command == "run":
+        if args.problem and not args.all:
+            problems = [get_problem(args.problem)]
+        else:
+            problems = list_problems()
+        mitigate = not args.no_mitigate
+        rows, payload, recorded = [], {}, []
+        for problem in problems:
+            res = run_problem(problem, seed=args.seed, mitigate=mitigate)
+            rows.append(_ops_run_row(res))
+            payload[problem.name] = {
+                "seed": res.seed,
+                "mitigate": res.mitigate,
+                "aborted": res.aborted,
+                "clean_unit_s": res.clean_unit_s,
+                "verdict": res.verdict.to_dict() if res.verdict else None,
+                "mitigation": (
+                    res.mitigation.to_dict() if res.mitigation else None
+                ),
+                "grade": res.grade.to_dict(),
+            }
+            if args.record:
+                stem = args.record[:-5] if args.record.endswith(".json") \
+                    else args.record
+                path = args.record if len(problems) == 1 \
+                    else f"{stem}-{problem.name}.json"
+                recorded.append(save_bundle(res, path))
+        print(render_table(
+            ["problem", "kind", "verdict", "blame", "ttd ms",
+             "detect", "mitigate", "overall", "aborted"],
+            rows,
+        ))
+        for path in recorded:
+            print(f"bundle written to {path}")
+        if args.json:
+            write_json(args.json, {
+                "seed": args.seed,
+                "mitigate": mitigate,
+                "problems": payload,
+            })
+        return 0
+
+    # grade / replay consume a recorded bundle, engine-free.
+    bundle = load_bundle(args.bundle)
+    report = replay_bundle(bundle)
+    if args.ops_command == "grade":
+        g = report.grade
+        print(render_table(
+            ["problem", "detect", "blame", "ttd ms", "mitigate",
+             "recovery ms", "regression", "overall"],
+            [[
+                report.name,
+                f"{g.detection.score:.2f}",
+                f"{g.detection.blame_score:.2f}",
+                f"{g.detection.ttd_s * 1e3:.2f}"
+                if g.detection.detected else "-",
+                f"{g.mitigation.score:.2f}",
+                f"{g.mitigation.recovery_s * 1e3:.2f}"
+                if g.mitigation.recovered else "-",
+                f"{g.mitigation.regression:+.2f}"
+                if g.mitigation.recovered else "-",
+                f"{g.overall:.2f}",
+            ]],
+        ))
+        if args.json:
+            write_json(args.json, report.to_dict())
+        return 0
+
+    # replay: verify the bundle reproduces itself bit-identically.
+    status = "identical" if report.identical else "DIVERGED"
+    print(render_table(
+        ["problem", "seed", "observations", "verdict", "grade", "replay"],
+        [[
+            report.name,
+            str(report.seed),
+            "match" if report.observations_match else "MISMATCH",
+            "match" if report.verdict_match else "MISMATCH",
+            "match" if report.grade_match else "MISMATCH",
+            status,
+        ]],
+    ))
+    for line in report.mismatches:
+        print(f"mismatch: {line}")
+    if args.json:
+        write_json(args.json, report.to_dict())
+    return 0 if report.identical else 1
 
 
 def cmd_compare(args) -> int:
@@ -905,6 +1057,51 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write per-engine chaos reports to this JSON "
                             "file")
 
+    ops = sub.add_parser(
+        "ops",
+        help="operations benchmark: graded detect/localize/mitigate "
+             "problems with trace replay",
+    )
+    ops_sub = ops.add_subparsers(dest="ops_command", required=True)
+    ops_list = ops_sub.add_parser(
+        "list", help="list the registered ops problems"
+    )
+    ops_list.add_argument("--json", default=None,
+                          help="write the problem specs to this JSON file")
+    ops_run = ops_sub.add_parser(
+        "run", help="run one problem (or all) end-to-end and grade it"
+    )
+    ops_run.add_argument("problem", nargs="?", default=None,
+                         help="problem name (see 'repro ops list'); "
+                              "omitted = all")
+    ops_run.add_argument("--all", action="store_true",
+                         help="run every registered problem")
+    ops_run.add_argument("--seed", type=int, default=0,
+                         help="single run seed; every stream (graph, "
+                              "faults, workload) derives from it")
+    ops_run.add_argument("--no-mitigate", action="store_true",
+                         help="detect and grade only; apply no mitigation")
+    ops_run.add_argument("--record", default=None,
+                         help="write replayable bundle(s) to this path "
+                              "(per-problem suffix when running several)")
+    ops_run.add_argument("--json", default=None,
+                         help="write verdicts + grades to this JSON file")
+    ops_grade = ops_sub.add_parser(
+        "grade", help="re-grade a recorded bundle offline"
+    )
+    ops_grade.add_argument("bundle", help="bundle path from ops run --record")
+    ops_grade.add_argument("--json", default=None,
+                           help="write the grade report to this JSON file")
+    ops_replay = ops_sub.add_parser(
+        "replay",
+        help="replay a recorded bundle without the engine and verify "
+             "bit-identity (non-zero exit on divergence)",
+    )
+    ops_replay.add_argument("bundle",
+                            help="bundle path from ops run --record")
+    ops_replay.add_argument("--json", default=None,
+                            help="write the replay report to this JSON file")
+
     replan = sub.add_parser(
         "replan-sweep",
         help="compare static planning vs online re-planning under "
@@ -1016,6 +1213,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "analyze": cmd_analyze,
     "chaos": cmd_chaos,
+    "ops": cmd_ops,
     "cache-sweep": cmd_cache_sweep,
     "replan-sweep": cmd_replan_sweep,
     "serve": cmd_serve,

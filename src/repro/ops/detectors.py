@@ -1,0 +1,243 @@
+"""Detectors/localizers over observable signals only.
+
+The :class:`DetectionPipeline` consumes the observation stream of
+:mod:`repro.ops.signals` -- never the injected schedule -- and emits at
+most one :class:`Verdict` per run: the first degradation it can both
+detect and localize.  Checks are ordered by evidence specificity:
+
+1. **crash** -- a :class:`CrashObservation` is unambiguous; blame the
+   reported worker.
+2. **cache-thrash** -- the refresh fraction of exchanged bytes jumps to
+   ~1 when the staleness bound collapses; blame the layer moving the
+   most refresh bytes (1-based).
+3. **straggler** -- one worker's compute (gpu + cpu) seconds stand out
+   against the cluster median; healthy partitions are balanced to a few
+   percent, so a ratio of 1.6 is far outside noise.
+4. **link** -- one worker's ``net_send`` seconds stand out (a degraded
+   link makes the sender occupy its NIC longer per byte); the
+   destination is localized from ``net_recv`` ratios, falling back to a
+   wildcard when the degradation spreads over all peers.
+5. **slo-burn** (serving windows) -- the window p95 exceeds a multiple
+   of the baseline windows' p95; blame the worker whose mean latency
+   stands out if one does.
+
+All thresholds live in :meth:`DetectionPipeline.params`, so a recorded
+bundle can rebuild an identical pipeline and the replayer can re-derive
+the recorded verdict bit-for-bit from the stored observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ops.signals import (
+    CrashObservation,
+    EpochObservation,
+    WindowObservation,
+)
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One detection outcome: what, when, and who is to blame."""
+
+    kind: str
+    detected_at_s: float
+    unit: int  # epoch (training) or window (serving) index
+    worker: Optional[int] = None
+    link: Optional[Tuple[Optional[int], Optional[int]]] = None
+    layer: Optional[int] = None
+    evidence: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "detected_at_s": self.detected_at_s,
+            "unit": self.unit,
+            "worker": self.worker,
+            "link": list(self.link) if self.link is not None else None,
+            "layer": self.layer,
+            "evidence": dict(self.evidence),
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "Verdict":
+        link = payload.get("link")
+        return Verdict(
+            kind=str(payload["kind"]),
+            detected_at_s=float(payload["detected_at_s"]),
+            unit=int(payload["unit"]),
+            worker=payload.get("worker"),
+            link=tuple(link) if link is not None else None,
+            layer=payload.get("layer"),
+            evidence={
+                str(k): float(v)
+                for k, v in dict(payload.get("evidence") or {}).items()
+            },
+        )
+
+
+class DetectionPipeline:
+    """Stateful detector fed one observation per epoch/window.
+
+    Parameters mirror :meth:`params` exactly; construct a replayed
+    pipeline via ``DetectionPipeline(**bundle["pipeline"])``.
+    """
+
+    def __init__(
+        self,
+        warmup_epochs: int = 0,
+        baseline_windows: int = 3,
+        compute_threshold: float = 1.6,
+        comm_threshold: float = 1.3,
+        recv_threshold: float = 1.25,
+        refresh_threshold: float = 0.5,
+        burn_factor: float = 1.5,
+        worker_ratio: float = 1.8,
+    ):
+        self.warmup_epochs = int(warmup_epochs)
+        self.baseline_windows = int(baseline_windows)
+        self.compute_threshold = float(compute_threshold)
+        self.comm_threshold = float(comm_threshold)
+        self.recv_threshold = float(recv_threshold)
+        self.refresh_threshold = float(refresh_threshold)
+        self.burn_factor = float(burn_factor)
+        self.worker_ratio = float(worker_ratio)
+        self._window_p95s: List[float] = []
+
+    def params(self) -> Dict[str, float]:
+        """Constructor kwargs for an identical pipeline (bundled)."""
+        return {
+            "warmup_epochs": self.warmup_epochs,
+            "baseline_windows": self.baseline_windows,
+            "compute_threshold": self.compute_threshold,
+            "comm_threshold": self.comm_threshold,
+            "recv_threshold": self.recv_threshold,
+            "refresh_threshold": self.refresh_threshold,
+            "burn_factor": self.burn_factor,
+            "worker_ratio": self.worker_ratio,
+        }
+
+    # ------------------------------------------------------------------
+    def observe(self, obs) -> Optional[Verdict]:
+        """Feed one observation; a non-None return ends detection."""
+        if isinstance(obs, CrashObservation):
+            return Verdict(
+                kind="crash",
+                detected_at_s=obs.detected_at_s,
+                unit=obs.epoch,
+                worker=obs.worker,
+                evidence={"permanent": float(obs.permanent)},
+            )
+        if isinstance(obs, EpochObservation):
+            return self._observe_epoch(obs)
+        if isinstance(obs, WindowObservation):
+            return self._observe_window(obs)
+        raise TypeError(f"unknown observation {obs!r}")
+
+    # -- training epochs -----------------------------------------------
+    def _observe_epoch(self, obs: EpochObservation) -> Optional[Verdict]:
+        if obs.epoch <= self.warmup_epochs:
+            return None
+
+        # Cache thrash: refresh traffic should be rare under a healthy
+        # staleness bound; a sustained ~100% refresh share means the
+        # bound collapsed (tau-pressure) and every epoch re-fetches.
+        frac = obs.refresh_fraction
+        if frac >= self.refresh_threshold:
+            refresh = obs.layer_refresh_bytes
+            layer = int(np.argmax(refresh)) + 1 if refresh else None
+            return Verdict(
+                kind="cache-thrash",
+                detected_at_s=obs.t_end,
+                unit=obs.epoch,
+                layer=layer,
+                evidence={"refresh_fraction": float(frac)},
+            )
+
+        # Straggler: one worker's compute share stands out vs median.
+        compute = np.array(obs.compute_s())
+        med = float(np.median(compute))
+        if med > 0:
+            ratios = compute / med
+            worker = int(np.argmax(ratios))
+            ratio = float(ratios[worker])
+            if ratio >= self.compute_threshold:
+                return Verdict(
+                    kind="straggler",
+                    detected_at_s=obs.t_end,
+                    unit=obs.epoch,
+                    worker=worker,
+                    evidence={"compute_ratio": ratio},
+                )
+
+        # Degraded link: the sender's NIC occupancy stands out.  The
+        # destination shows as one peer's elevated receive time; a flat
+        # receive spread means every link out of the sender degraded.
+        send = np.array(obs.net_send_s)
+        med_send = float(np.median(send))
+        if med_send > 0:
+            ratios = send / med_send
+            src = int(np.argmax(ratios))
+            send_ratio = float(ratios[src])
+            if send_ratio >= self.comm_threshold:
+                recv = np.array(obs.net_recv_s)
+                med_recv = float(np.median(recv))
+                dst: Optional[int] = None
+                recv_ratio = 0.0
+                if med_recv > 0:
+                    recv_ratios = recv / med_recv
+                    cand = int(np.argmax(recv_ratios))
+                    recv_ratio = float(recv_ratios[cand])
+                    if recv_ratio >= self.recv_threshold:
+                        dst = cand
+                return Verdict(
+                    kind="link",
+                    detected_at_s=obs.t_end,
+                    unit=obs.epoch,
+                    worker=src,
+                    link=(src, dst),
+                    evidence={
+                        "send_ratio": send_ratio,
+                        "recv_ratio": recv_ratio,
+                    },
+                )
+        return None
+
+    # -- serving windows -----------------------------------------------
+    def _observe_window(self, obs: WindowObservation) -> Optional[Verdict]:
+        if len(self._window_p95s) < self.baseline_windows:
+            self._window_p95s.append(obs.p95_s)
+            return None
+        baseline = float(np.mean(self._window_p95s))
+        if baseline <= 0 or obs.p95_s < self.burn_factor * baseline:
+            return None
+        worker: Optional[int] = None
+        ratio = 0.0
+        means = [obs.worker_mean_s.get(w, 0.0) for w in range(obs.num_workers)]
+        positive = [m for m in means if m > 0]
+        if positive:
+            med = float(np.median(positive))
+            if med > 0:
+                cand = int(np.argmax(means))
+                ratio = float(means[cand] / med)
+                if ratio >= self.worker_ratio:
+                    worker = cand
+        return Verdict(
+            kind="slo-burn",
+            detected_at_s=obs.t_end,
+            unit=obs.window,
+            worker=worker,
+            evidence={
+                "p95_s": obs.p95_s,
+                "baseline_p95_s": baseline,
+                "burn": obs.p95_s / baseline,
+                "worker_ratio": ratio,
+            },
+        )
+
+
+__all__ = ["Verdict", "DetectionPipeline"]

@@ -1,0 +1,446 @@
+"""Materialise and run one ops problem end-to-end.
+
+:func:`run_problem` is a pure function of ``(problem, seed, mitigate)``:
+every random choice -- graph topology, features, model init, fault
+jitter, workload arrivals -- draws from a sub-seed derived from the one
+run seed via :func:`repro.utils.rng.derive_rng` under the ``"ops"``
+namespace, so two runs with the same arguments produce bit-identical
+observation streams, verdicts, and grades (the property the recorder's
+replay test asserts).
+
+Training problems charge epochs on a healthy *twin* engine first to
+measure the clean epoch duration; the fault schedule and the grading
+budgets (expressed in epochs by the spec) are converted to simulated
+seconds with it.  The monitored run then feeds per-epoch
+:class:`~repro.ops.signals.EpochObservation` deltas through the
+detection pipeline, applies the problem's mitigation when a verdict
+lands, and keeps charging epochs so the evaluator can observe the
+recovery.  Serving problems segment the workload into fixed-size
+request windows served against harness-owned continuation state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cache.budget import CacheConfig
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.timeline import Timeline
+from repro.core.model import GNNModel
+from repro.engines import make_engine
+from repro.graph import generators
+from repro.ops.detectors import DetectionPipeline, Verdict
+from repro.ops.evaluators import ProblemGrade, grade_run
+from repro.ops.mitigations import (
+    MitigationRecord,
+    mitigate_cache_refresh,
+    mitigate_replan,
+    mitigate_shed,
+    mitigate_shrink,
+)
+from repro.ops.problem import GroundTruth, OpsProblem
+from repro.ops.signals import (
+    TimelineObserver,
+    window_observations_from_records,
+)
+from repro.partition import get_partitioner
+from repro.resilience.faults import (
+    FaultSchedule,
+    LinkDegradationFault,
+    StragglerFault,
+    WorkerCrashError,
+    WorkerCrashFault,
+)
+from repro.utils.rng import derive_rng
+
+#: One injected cache-thrash collapses the staleness bound to this.
+_THRASH_TAU = 0.0
+
+
+def derive_sub_seed(seed: int, *stream: object) -> int:
+    """One 31-bit sub-seed per named stream under the ``"ops"`` root."""
+    return int(derive_rng(seed, "ops", *stream).integers(2 ** 31))
+
+
+@dataclass
+class OpsRunResult:
+    """Everything one problem run produced (the bundle's source)."""
+
+    problem: OpsProblem
+    seed: int
+    mitigate: bool
+    ground_truth: GroundTruth
+    pipeline_params: Dict[str, float]
+    observations: List[object]
+    verdict: Optional[Verdict]
+    mitigation: Optional[MitigationRecord]
+    aborted: bool
+    grading: Dict[str, object]
+    grade: ProblemGrade
+    timeline: Timeline
+    clean_unit_s: float
+    ledger_records: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.problem.name
+
+
+# ----------------------------------------------------------------------
+def _build_graph(problem: OpsProblem, seed: int):
+    g = generators.community(
+        problem.graph_vertices,
+        problem.graph_communities,
+        avg_degree=problem.avg_degree,
+        seed=derive_sub_seed(seed, "graph"),
+    )
+    generators.attach_features(
+        g,
+        problem.feature_dim,
+        problem.num_classes,
+        seed=derive_sub_seed(seed, "features"),
+        class_signal=2.0,
+    )
+    return g
+
+
+def _build_model(problem: OpsProblem, graph, seed: int) -> GNNModel:
+    return GNNModel.build(
+        problem.arch,
+        graph.feature_dim,
+        problem.hidden_dim,
+        graph.num_classes,
+        seed=derive_sub_seed(seed, "model"),
+    )
+
+
+def _pipeline_for(problem: OpsProblem) -> DetectionPipeline:
+    params: Dict[str, float] = {
+        "warmup_epochs": problem.warmup_epochs,
+        "baseline_windows": problem.baseline_epochs,
+    }
+    params.update(problem.detector_params)
+    return DetectionPipeline(**params)
+
+
+def run_problem(
+    problem: OpsProblem, seed: int = 0, mitigate: bool = True
+) -> OpsRunResult:
+    """Run one registered problem; see the module docstring."""
+    if problem.workload == "serving":
+        return _run_serving(problem, seed, mitigate)
+    return _run_training(problem, seed, mitigate)
+
+
+# ----------------------------------------------------------------------
+# Training problems.
+def _fault_schedule(
+    problem: OpsProblem, start_s: float, seed: int, unit_s: float
+) -> Optional[FaultSchedule]:
+    fault_seed = derive_sub_seed(seed, "faults")
+    if problem.kind == "straggler":
+        return FaultSchedule([StragglerFault(
+            worker=problem.fault_worker,
+            gpu_factor=problem.gpu_factor,
+            cpu_factor=1.0,
+            start=start_s,
+        )], seed=fault_seed)
+    if problem.kind == "link":
+        return FaultSchedule([LinkDegradationFault(
+            src=problem.fault_worker,
+            dst=None,
+            bandwidth_factor=problem.bandwidth_factor,
+            extra_latency_s=problem.extra_latency_s,
+            start=start_s,
+        )], seed=fault_seed)
+    if problem.kind == "crash":
+        # The failure detector's timeout scales with the workload: one
+        # epoch of silence (the library default of 50ms would dwarf the
+        # sub-millisecond epochs of these benchmark graphs and turn the
+        # TTD grade into a constant).
+        return FaultSchedule([WorkerCrashFault(
+            worker=problem.fault_worker,
+            at_time=start_s,
+            detection_timeout_s=unit_s,
+            permanent=True,
+        )], seed=fault_seed)
+    return None  # cache-thrash injects via the cache config, not faults
+
+
+def _ground_truth(problem: OpsProblem, start_s: float) -> GroundTruth:
+    if problem.kind == "link":
+        return GroundTruth(
+            kind="link", start_s=start_s,
+            link=(problem.fault_worker, None),
+        )
+    return GroundTruth(
+        kind=problem.kind, start_s=start_s, worker=problem.fault_worker,
+    )
+
+
+def _cached_layer(engine) -> Optional[int]:
+    """1-based layer holding the most cached deps (thrash ground truth)."""
+    plan = engine.plan()
+    sizes = [
+        sum(len(h) for h in per_layer) for per_layer in plan.stale_deps
+    ]
+    if not sizes or max(sizes) == 0:
+        return None
+    return int(np.argmax(sizes)) + 1
+
+
+def _run_training(
+    problem: OpsProblem, seed: int, mitigate: bool
+) -> OpsRunResult:
+    graph = _build_graph(problem, seed)
+    cluster = ClusterSpec.ecs(problem.nodes)
+    engine_kwargs: Dict[str, object] = {}
+    if problem.tau is not None:
+        engine_kwargs["cache_config"] = CacheConfig(tau=problem.tau)
+
+    # Healthy twin: measures the clean epoch for fault placement and
+    # budget conversion (epochs -> simulated seconds).
+    twin = make_engine(
+        problem.engine, graph, _build_model(problem, graph, seed),
+        cluster, **engine_kwargs,
+    )
+    clean_durations = []
+    for e in range(1, problem.warmup_epochs + problem.baseline_epochs + 1):
+        dur = twin.charge_epoch()
+        if e > problem.warmup_epochs:
+            clean_durations.append(dur)
+    clean_epoch_s = float(np.mean(clean_durations))
+
+    inject_t = problem.inject_epoch * clean_epoch_s
+    schedule = _fault_schedule(problem, inject_t, seed, clean_epoch_s)
+    run_cluster = (
+        cluster.with_faults(schedule) if schedule is not None else cluster
+    )
+    # The monitored engine records its timeline: the bundle ships a
+    # chrome trace of the degraded run (the twin stays unrecorded).
+    engine = make_engine(
+        problem.engine, graph, _build_model(problem, graph, seed),
+        run_cluster, record_timeline=True, **engine_kwargs,
+    )
+
+    pipeline = _pipeline_for(problem)
+    observer = TimelineObserver(engine)
+    truth = _ground_truth(problem, inject_t)
+    observations: List[object] = []
+    verdict: Optional[Verdict] = None
+    mitigation: Optional[MitigationRecord] = None
+    aborted = False
+
+    epoch = 0
+    while epoch < problem.epochs:
+        epoch += 1
+        if problem.kind == "cache-thrash" and epoch == problem.inject_epoch:
+            truth = GroundTruth(
+                kind="cache-thrash",
+                start_s=engine.timeline.makespan,
+                layer=_cached_layer(engine),
+            )
+            engine.cache_config = CacheConfig(tau=_THRASH_TAU)
+        try:
+            engine.charge_epoch()
+        except WorkerCrashError as crash:
+            obs = observer.crash_observation(epoch, crash)
+            observations.append(obs)
+            if verdict is None:
+                verdict = pipeline.observe(obs)
+            if not mitigate:
+                aborted = True
+                break
+            if mitigation is None and verdict is not None:
+                engine, mitigation = mitigate_shrink(
+                    engine, verdict, crash=crash
+                )
+                observer.rebind(engine)
+                continue
+            aborted = True  # crash with no mitigation lever left
+            break
+        obs = observer.observe(epoch)
+        observations.append(obs)
+        if verdict is None:
+            verdict = pipeline.observe(obs)
+            if verdict is not None and mitigate:
+                engine, mitigation = _apply_training_mitigation(
+                    problem, engine, verdict, observer
+                )
+
+    baseline = [
+        o.duration for o in observations
+        if hasattr(o, "duration")
+        and problem.warmup_epochs
+        < o.epoch <= problem.warmup_epochs + problem.baseline_epochs
+    ]
+    grading: Dict[str, object] = {
+        "criterion": "refresh" if problem.kind == "cache-thrash"
+        else "duration",
+        "baseline_duration": float(np.mean(baseline)) if baseline
+        else clean_epoch_s,
+        "baseline_p95": None,
+        "recovered_factor": problem.recovered_factor,
+        "ttd_budget_s": problem.ttd_budget_epochs * clean_epoch_s,
+        "recovery_budget_s": problem.recovery_budget_epochs * clean_epoch_s,
+        "regression_allowance": problem.regression_allowance,
+        "refresh_threshold": problem.refresh_recovery_threshold,
+    }
+    grade = grade_run(
+        observations, verdict, truth,
+        applied=mitigation is not None,
+        grading=grading, aborted=aborted,
+    )
+    return OpsRunResult(
+        problem=problem, seed=seed, mitigate=mitigate,
+        ground_truth=truth,
+        pipeline_params=pipeline.params(),
+        observations=observations,
+        verdict=verdict, mitigation=mitigation, aborted=aborted,
+        grading=grading, grade=grade,
+        timeline=engine.timeline, clean_unit_s=clean_epoch_s,
+    )
+
+
+def _apply_training_mitigation(problem, engine, verdict, observer):
+    """Dispatch the spec'd mitigation; returns (engine, record)."""
+    if problem.mitigation == "shrink":
+        engine, record = mitigate_shrink(engine, verdict)
+        observer.rebind(engine)
+        return engine, record
+    if problem.mitigation == "replan":
+        return engine, mitigate_replan(engine, verdict)
+    if problem.mitigation == "cache-refresh":
+        return engine, mitigate_cache_refresh(engine, verdict, problem)
+    raise ValueError(
+        f"mitigation {problem.mitigation!r} needs a training workload"
+    )
+
+
+# ----------------------------------------------------------------------
+# Serving problems.
+def _run_serving(
+    problem: OpsProblem, seed: int, mitigate: bool
+) -> OpsRunResult:
+    from repro.serving import (
+        InferenceServer,
+        ServingConfig,
+        WorkloadConfig,
+        generate_workload,
+    )
+    from repro.serving.slo import LatencyLedger
+
+    graph = _build_graph(problem, seed)
+    model = _build_model(problem, graph, seed)
+    cluster = ClusterSpec.ecs(problem.nodes)
+    partitioning = get_partitioner("chunk")(graph, problem.nodes)
+    workload = generate_workload(
+        WorkloadConfig(
+            num_requests=problem.requests,
+            rate_rps=problem.rate_rps,
+            zipf_exponent=problem.zipf,
+            seed=derive_sub_seed(seed, "workload"),
+        ),
+        graph.num_vertices,
+    )
+    inject_t = workload[problem.inject_request].arrival_s
+    schedule = FaultSchedule(
+        [StragglerFault(
+            worker=problem.fault_worker,
+            gpu_factor=problem.gpu_factor,
+            cpu_factor=1.0,
+            start=inject_t,
+        )],
+        seed=derive_sub_seed(seed, "faults"),
+    )
+    config = ServingConfig(
+        batch_window_s=problem.batch_window_s,
+        max_batch=problem.max_batch,
+        tau_s=0.0,
+        mode="local",
+    )
+    server = InferenceServer(
+        graph, model, cluster, partitioning, config=config, faults=schedule,
+    )
+
+    pipeline = _pipeline_for(problem)
+    truth = GroundTruth(
+        kind="slo-burn", start_s=inject_t, worker=problem.fault_worker,
+    )
+    # Continuation state the harness owns across window segments; the
+    # server mutates these in place (see InferenceServer.serve).
+    timeline = Timeline(problem.nodes)
+    ledger = LatencyLedger()
+    predictions: Dict[int, object] = {}
+    inflight: List[object] = []
+
+    observations: List[object] = []
+    verdict: Optional[Verdict] = None
+    mitigation: Optional[MitigationRecord] = None
+    width = problem.window_requests
+    num_windows = len(workload) // width
+    for wi in range(num_windows):
+        segment = workload[wi * width:(wi + 1) * width]
+        server.serve(
+            segment,
+            timeline=timeline, ledger=ledger,
+            predictions=predictions, inflight=inflight,
+        )
+        window_records = [
+            r for r in ledger.records
+            if wi * width <= r.req_id < (wi + 1) * width
+        ]
+        window_obs = [
+            o for o in window_observations_from_records(
+                window_records, width, problem.nodes
+            )
+            if o.window == wi
+        ]
+        if not window_obs:
+            continue
+        obs = window_obs[0]
+        observations.append(obs)
+        if verdict is None:
+            verdict = pipeline.observe(obs)
+            if verdict is not None and mitigate:
+                mitigation = mitigate_shed(server, verdict, problem)
+
+    window_s = problem.window_requests / problem.rate_rps
+    baseline_p95s = [
+        o.p95_s for o in observations if o.window < problem.baseline_epochs
+    ]
+    grading: Dict[str, object] = {
+        "criterion": "p95",
+        "baseline_duration": window_s,
+        "baseline_p95": float(np.mean(baseline_p95s))
+        if baseline_p95s else None,
+        "recovered_factor": problem.recovered_factor,
+        "ttd_budget_s": problem.ttd_budget_epochs * window_s,
+        "recovery_budget_s": problem.recovery_budget_epochs * window_s,
+        "regression_allowance": problem.regression_allowance,
+        "refresh_threshold": problem.refresh_recovery_threshold,
+    }
+    grade = grade_run(
+        observations, verdict, truth,
+        applied=mitigation is not None,
+        grading=grading, aborted=False,
+    )
+    records = [
+        asdict(r) for r in sorted(ledger.records, key=lambda r: r.req_id)
+    ]
+    return OpsRunResult(
+        problem=problem, seed=seed, mitigate=mitigate,
+        ground_truth=truth,
+        pipeline_params=pipeline.params(),
+        observations=observations,
+        verdict=verdict, mitigation=mitigation, aborted=False,
+        grading=grading, grade=grade,
+        timeline=timeline, clean_unit_s=window_s,
+        ledger_records=records,
+    )
+
+
+__all__ = ["OpsRunResult", "run_problem", "derive_sub_seed"]

@@ -1,0 +1,180 @@
+"""Mitigation policies: act on a verdict using only production levers.
+
+Each mitigation consumes the detector's :class:`~repro.ops.detectors.
+Verdict` -- never the injected schedule -- and pulls a lever the
+resilience/serving layers already expose to operators:
+
+- **shrink** -- evict the blamed worker via the elastic machinery
+  (:func:`~repro.resilience.elastic.shrink_engine`).  For a crash the
+  real :class:`WorkerCrashError` is reused; for a straggler a synthetic
+  permanent crash is raised against the blamed worker (an operator
+  cordoning a bad host).
+- **replan** -- re-run dependency planning with the communication cost
+  constant inflated by the observed send-ratio squared, pushing the
+  planner away from the degraded network (the health monitor's
+  constants-override pattern, driven by the detector's evidence).
+- **cache-refresh** -- restore the problem's healthy
+  :class:`~repro.cache.budget.CacheConfig`, lifting the collapsed
+  staleness bound so refresh traffic stops.
+- **shed** -- enable admission control on the live server
+  (``slo.max_pending``), trading offered load for latency.
+
+Every application returns a :class:`MitigationRecord` so bundles can
+replay the decision offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.cache.budget import CacheConfig
+from repro.ops.detectors import Verdict
+from repro.ops.problem import OpsProblem
+from repro.resilience.elastic import shrink_engine
+from repro.resilience.faults import WorkerCrashError, WorkerCrashFault
+from repro.serving.slo import SLOConfig
+
+
+@dataclass(frozen=True)
+class MitigationRecord:
+    """What was done, when, and with which parameters."""
+
+    name: str
+    applied_at_s: float
+    unit: int  # epoch / window the triggering verdict landed on
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "applied_at_s": self.applied_at_s,
+            "unit": self.unit,
+            "detail": dict(self.detail),
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "MitigationRecord":
+        return MitigationRecord(
+            name=str(payload["name"]),
+            applied_at_s=float(payload["applied_at_s"]),
+            unit=int(payload["unit"]),
+            detail=dict(payload.get("detail") or {}),
+        )
+
+
+# ----------------------------------------------------------------------
+def mitigate_shrink(
+    engine,
+    verdict: Verdict,
+    crash: Optional[WorkerCrashError] = None,
+) -> Tuple[object, MitigationRecord]:
+    """Evict the blamed worker; returns the shrunk engine.
+
+    ``crash`` is the real error when the verdict came from one; absent
+    that, a synthetic permanent crash evicts the blamed straggler.
+    """
+    if crash is None:
+        if verdict.worker is None:
+            raise ValueError("shrink mitigation needs a blamed worker")
+        now = engine.timeline.makespan
+        fault = WorkerCrashFault(
+            worker=verdict.worker,
+            at_time=now,
+            detection_timeout_s=0.0,
+            permanent=True,
+        )
+        crash = WorkerCrashError(fault, now)
+        synthetic = True
+    else:
+        synthetic = False
+    new_engine, _record, report = shrink_engine(engine, crash)
+    record = MitigationRecord(
+        name="shrink",
+        applied_at_s=verdict.detected_at_s,
+        unit=verdict.unit,
+        detail={
+            "evicted_worker": crash.fault.worker,
+            "synthetic_crash": synthetic,
+            "transition_s": report.seconds,
+            "migrated_bytes": report.migrated_bytes,
+            "num_workers_after": report.num_workers,
+        },
+    )
+    return new_engine, record
+
+
+def mitigate_replan(engine, verdict: Verdict) -> MitigationRecord:
+    """Re-plan with comm costs inflated by the observed degradation.
+
+    The detector's ``send_ratio`` measures how much longer the blamed
+    sender occupies its NIC per epoch; squaring it biases the planner
+    firmly toward compute-heavy placements (cache more, ship less) --
+    the same lever :class:`~repro.resilience.health.ClusterHealthMonitor`
+    pulls, but driven by the ops verdict instead of EWMA estimates.
+    """
+    base = engine.constants
+    if base is None:
+        engine.plan()
+        base = engine.constants
+    ratio = float(verdict.evidence.get("send_ratio", 2.0))
+    factor = ratio * ratio
+    overrides = {
+        w: replace(
+            base,
+            t_c=base.t_c * factor,
+            t_c_layer=[t * factor for t in base.t_c_layer],
+        )
+        for w in range(engine.cluster.num_workers)
+    }
+    engine.replan(overrides)
+    return MitigationRecord(
+        name="replan",
+        applied_at_s=verdict.detected_at_s,
+        unit=verdict.unit,
+        detail={"comm_factor": factor, "send_ratio": ratio},
+    )
+
+
+def mitigate_cache_refresh(
+    engine, verdict: Verdict, problem: OpsProblem
+) -> MitigationRecord:
+    """Restore the healthy staleness bound; refresh traffic stops."""
+    healthy = CacheConfig(tau=problem.tau if problem.tau is not None else 2.0)
+    engine.cache_config = healthy
+    return MitigationRecord(
+        name="cache-refresh",
+        applied_at_s=verdict.detected_at_s,
+        unit=verdict.unit,
+        detail={"restored_tau": healthy.tau},
+    )
+
+
+def mitigate_shed(
+    server, verdict: Verdict, problem: OpsProblem
+) -> MitigationRecord:
+    """Turn on admission control for the remaining traffic."""
+    config = server.config
+    server.config = replace(
+        config,
+        slo=replace(
+            config.slo
+            if config.slo is not None else SLOConfig(),
+            max_pending=problem.shed_max_pending,
+        ),
+    )
+    return MitigationRecord(
+        name="shed",
+        applied_at_s=verdict.detected_at_s,
+        unit=verdict.unit,
+        detail={"max_pending": problem.shed_max_pending},
+    )
+
+
+__all__ = [
+    "MitigationRecord",
+    "mitigate_shrink",
+    "mitigate_replan",
+    "mitigate_cache_refresh",
+    "mitigate_shed",
+]

@@ -1,0 +1,163 @@
+"""The built-in ops-problem registry.
+
+Problems register themselves by name; ``repro ops list`` enumerates
+them and ``repro ops run NAME`` materialises one via the harness.  The
+five built-ins below cover the degradation classes the resilience and
+serving layers model -- straggler, degraded link, permanent crash,
+cache thrash (tau-pressure), and a serving SLO burn -- with injection
+magnitudes tuned so each problem's signal clears its detector threshold
+with margin on the default seed while healthy epochs/windows stay well
+below it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ops.problem import OpsProblem
+
+_REGISTRY: Dict[str, OpsProblem] = {}
+
+
+def register(problem: OpsProblem) -> OpsProblem:
+    """Add a problem to the registry (name must be unique)."""
+    if problem.name in _REGISTRY:
+        raise ValueError(f"ops problem {problem.name!r} already registered")
+    _REGISTRY[problem.name] = problem
+    return problem
+
+
+def get_problem(name: str) -> OpsProblem:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown ops problem {name!r} (known: {known})")
+
+
+def list_problems() -> List[OpsProblem]:
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+# ----------------------------------------------------------------------
+# Built-in problems.  Injection magnitudes are deliberately loud (16x
+# GPU slowdown, 8x bandwidth cut, 60x serving slowdown): the benchmark
+# grades *operational response* -- time-to-detect, blame accuracy,
+# recovery -- not threshold sensitivity, so the signal itself should
+# not be the hard part.
+
+register(OpsProblem(
+    name="train-straggler",
+    kind="straggler",
+    description=(
+        "Worker 2's GPU slows 16x mid-training; detect the compute "
+        "imbalance, blame the worker, and shrink it out of the cluster."
+    ),
+    mitigation="shrink",
+    inject_epoch=4,
+    fault_worker=2,
+    gpu_factor=16.0,
+    ttd_budget_epochs=2.0,
+    # Post-evict epochs run ~0.9x the healthy duration; 1.3x leaves
+    # room for the first partially-degraded epoch to not count.
+    recovered_factor=1.3,
+    recovery_budget_epochs=5.0,
+    regression_allowance=0.5,
+))
+
+register(OpsProblem(
+    name="train-link-degraded",
+    kind="link",
+    description=(
+        "Every link out of worker 1 drops to 1/8 bandwidth with added "
+        "latency; detect the NIC-occupancy skew and replan the cost "
+        "model around the slow sender."
+    ),
+    mitigation="replan",
+    inject_epoch=4,
+    fault_worker=1,
+    bandwidth_factor=8.0,
+    extra_latency_s=5e-5,
+    ttd_budget_epochs=2.0,
+    # A replan cannot give bandwidth back -- the mitigated steady state
+    # runs ~1.6x the healthy epoch (vs ~3x unmitigated).
+    recovered_factor=1.8,
+    recovery_budget_epochs=5.0,
+    regression_allowance=1.0,
+))
+
+register(OpsProblem(
+    name="train-crash-permanent",
+    kind="crash",
+    description=(
+        "Worker 2 dies permanently at epoch 4; the failure detector "
+        "fires at the next barrier and the cluster must shrink to "
+        "continue (an unmitigated run aborts)."
+    ),
+    mitigation="shrink",
+    inject_epoch=4,
+    fault_worker=2,
+    ttd_budget_epochs=2.0,
+    # 7 workers re-covering 8 workers' graph run ~8/7 of the healthy
+    # epoch plus imbalance; 1.5x bounds the accepted steady state.
+    recovered_factor=1.5,
+    recovery_budget_epochs=5.0,
+    regression_allowance=0.6,
+))
+
+register(OpsProblem(
+    name="train-cache-thrash",
+    kind="cache-thrash",
+    description=(
+        "The historical-embedding staleness bound collapses to tau=0 "
+        "mid-training, forcing a full refresh every epoch; detect the "
+        "refresh-byte surge, blame the heaviest layer, and restore the "
+        "healthy cache config."
+    ),
+    mitigation="cache-refresh",
+    tau=float("inf"),
+    inject_epoch=5,
+    # Epoch 1 is the cold cache fill (refresh fraction 1.0 by design);
+    # the detector must not score it as thrash.
+    warmup_epochs=1,
+    ttd_budget_epochs=2.0,
+    recovered_factor=1.3,
+    recovery_budget_epochs=5.0,
+    regression_allowance=0.5,
+    refresh_recovery_threshold=0.25,
+))
+
+register(OpsProblem(
+    name="serve-slo-burn",
+    kind="slo-burn",
+    description=(
+        "Worker 1's GPU slows 60x under live traffic; queueing delay "
+        "burns the latency SLO.  Detect the p95 burn, blame the slow "
+        "worker from per-worker latencies, and shed load to recover."
+    ),
+    workload="serving",
+    mitigation="shed",
+    nodes=4,
+    hidden_dim=32,
+    requests=320,
+    rate_rps=7000.0,
+    zipf=0.8,
+    window_requests=40,
+    batch_window_s=0.002,
+    max_batch=32,
+    inject_request=120,
+    fault_worker=1,
+    gpu_factor=60.0,
+    shed_max_pending=8,
+    # Units are windows here: baseline over the first 3 windows,
+    # detect within 2 windows of the fault, recover within 4.
+    baseline_epochs=3,
+    ttd_budget_epochs=2.0,
+    recovered_factor=1.8,
+    recovery_budget_epochs=4.0,
+    regression_allowance=1.0,
+    detector_params={"worker_ratio": 1.5, "burn_factor": 1.4},
+))
+
+
+__all__ = ["register", "get_problem", "list_problems"]

@@ -1,0 +1,328 @@
+"""Observable signals the ops detectors are allowed to consume.
+
+The operations benchmark draws a hard line between *ground truth* (the
+injected :class:`~repro.resilience.faults.FaultSchedule`, known only to
+the grader) and *observations* (what a production operator could
+actually see).  Everything in this module is on the observation side:
+
+- :class:`EpochObservation` -- one training epoch's per-worker
+  :class:`~repro.cluster.timeline.Timeline` totals deltas plus the
+  engine's per-layer exchange statistics (bytes, cache refreshes);
+- :class:`CrashObservation` -- a :class:`WorkerCrashError` surfacing at
+  a barrier (the failure detector's own signal, not the schedule);
+- :class:`WindowObservation` -- one serving window's latency statistics
+  derived from the :class:`~repro.serving.slo.LatencyLedger`.
+
+Every observation round-trips through ``to_dict``/``from_dict`` with
+floats preserved exactly (JSON serialises them via ``repr``), which is
+what lets the trace replayer re-run detection offline and reproduce the
+recorded verdicts bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.timeline import CPU, GPU, IDLE, NET_RECV, NET_SEND
+
+_KINDS = (GPU, CPU, NET_SEND, NET_RECV, IDLE)
+
+
+@dataclass(frozen=True)
+class EpochObservation:
+    """Per-worker activity deltas of one completed training epoch."""
+
+    epoch: int
+    t_start: float
+    t_end: float
+    num_workers: int
+    gpu_s: Tuple[float, ...]
+    cpu_s: Tuple[float, ...]
+    net_send_s: Tuple[float, ...]
+    net_recv_s: Tuple[float, ...]
+    idle_s: Tuple[float, ...]
+    layer_bytes: Tuple[float, ...] = ()
+    layer_refresh_bytes: Tuple[float, ...] = ()
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def refresh_fraction(self) -> float:
+        """Share of exchanged bytes that were cache refreshes."""
+        total = sum(self.layer_bytes)
+        if total <= 0:
+            return 0.0
+        return sum(self.layer_refresh_bytes) / total
+
+    def compute_s(self) -> Tuple[float, ...]:
+        """GPU + host CPU seconds per worker (the straggler signal)."""
+        return tuple(g + c for g, c in zip(self.gpu_s, self.cpu_s))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "type": "epoch",
+            "epoch": self.epoch,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "num_workers": self.num_workers,
+            "gpu_s": list(self.gpu_s),
+            "cpu_s": list(self.cpu_s),
+            "net_send_s": list(self.net_send_s),
+            "net_recv_s": list(self.net_recv_s),
+            "idle_s": list(self.idle_s),
+            "layer_bytes": list(self.layer_bytes),
+            "layer_refresh_bytes": list(self.layer_refresh_bytes),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+
+@dataclass(frozen=True)
+class CrashObservation:
+    """A worker crash surfacing at a barrier (the observable event)."""
+
+    epoch: int
+    detected_at_s: float
+    worker: int
+    permanent: bool = False
+
+    @property
+    def t_end(self) -> float:
+        return self.detected_at_s
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "type": "crash",
+            "epoch": self.epoch,
+            "detected_at_s": self.detected_at_s,
+            "worker": self.worker,
+            "permanent": self.permanent,
+        }
+
+
+@dataclass(frozen=True)
+class WindowObservation:
+    """Latency statistics of one serving window (a req_id slice)."""
+
+    window: int
+    t_start: float
+    t_end: float
+    num_workers: int
+    offered: int
+    served: int
+    shed: int
+    p50_s: float
+    p95_s: float
+    mean_s: float
+    worker_mean_s: Dict[int, float] = field(default_factory=dict)
+    worker_served: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "type": "window",
+            "window": self.window,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "num_workers": self.num_workers,
+            "offered": self.offered,
+            "served": self.served,
+            "shed": self.shed,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "mean_s": self.mean_s,
+            "worker_mean_s": {str(k): v for k, v in self.worker_mean_s.items()},
+            "worker_served": {str(k): v for k, v in self.worker_served.items()},
+        }
+
+
+def observation_from_dict(payload: Dict[str, object]):
+    """Inverse of ``to_dict`` for any observation type."""
+    kind = payload.get("type")
+    if kind == "epoch":
+        return EpochObservation(
+            epoch=int(payload["epoch"]),
+            t_start=float(payload["t_start"]),
+            t_end=float(payload["t_end"]),
+            num_workers=int(payload["num_workers"]),
+            gpu_s=tuple(payload["gpu_s"]),
+            cpu_s=tuple(payload["cpu_s"]),
+            net_send_s=tuple(payload["net_send_s"]),
+            net_recv_s=tuple(payload["net_recv_s"]),
+            idle_s=tuple(payload["idle_s"]),
+            layer_bytes=tuple(payload["layer_bytes"]),
+            layer_refresh_bytes=tuple(payload["layer_refresh_bytes"]),
+            cache_hits=int(payload["cache_hits"]),
+            cache_misses=int(payload["cache_misses"]),
+        )
+    if kind == "crash":
+        return CrashObservation(
+            epoch=int(payload["epoch"]),
+            detected_at_s=float(payload["detected_at_s"]),
+            worker=int(payload["worker"]),
+            permanent=bool(payload["permanent"]),
+        )
+    if kind == "window":
+        return WindowObservation(
+            window=int(payload["window"]),
+            t_start=float(payload["t_start"]),
+            t_end=float(payload["t_end"]),
+            num_workers=int(payload["num_workers"]),
+            offered=int(payload["offered"]),
+            served=int(payload["served"]),
+            shed=int(payload["shed"]),
+            p50_s=float(payload["p50_s"]),
+            p95_s=float(payload["p95_s"]),
+            mean_s=float(payload["mean_s"]),
+            worker_mean_s={
+                int(k): float(v)
+                for k, v in dict(payload["worker_mean_s"]).items()
+            },
+            worker_served={
+                int(k): int(v)
+                for k, v in dict(payload["worker_served"]).items()
+            },
+        )
+    raise ValueError(f"unknown observation type {kind!r}")
+
+
+class TimelineObserver:
+    """Diffs an engine's cumulative timeline totals into per-epoch deltas.
+
+    The observer reads only what a monitoring agent could scrape off a
+    worker: the timeline's activity totals and the engine's per-layer
+    exchange statistics.  ``rebind`` re-anchors the snapshots after an
+    elastic reshape (the shrunk engine carries a fresh timeline advanced
+    to the handover point).
+    """
+
+    def __init__(self, engine):
+        self.rebind(engine)
+
+    def rebind(self, engine) -> None:
+        self.engine = engine
+        timeline = engine.timeline
+        self._last = {k: timeline.totals[k].copy() for k in _KINDS}
+        self._t = timeline.makespan
+
+    def crash_observation(self, epoch: int, crash) -> CrashObservation:
+        """Fold a :class:`WorkerCrashError` into an observation."""
+        return CrashObservation(
+            epoch=epoch,
+            detected_at_s=float(crash.detected_at_s),
+            worker=int(crash.fault.worker),
+            permanent=bool(crash.fault.permanent),
+        )
+
+    def observe(self, epoch: int) -> EpochObservation:
+        """Fold everything since the last observation into one record."""
+        timeline = self.engine.timeline
+        deltas = {}
+        for kind in _KINDS:
+            current = timeline.totals[kind]
+            deltas[kind] = tuple(
+                float(v) for v in (current - self._last[kind])
+            )
+            self._last[kind] = current.copy()
+        stats = getattr(self.engine, "_forward_stats", []) or []
+        obs = EpochObservation(
+            epoch=epoch,
+            t_start=self._t,
+            t_end=timeline.makespan,
+            num_workers=timeline.num_workers,
+            gpu_s=deltas[GPU],
+            cpu_s=deltas[CPU],
+            net_send_s=deltas[NET_SEND],
+            net_recv_s=deltas[NET_RECV],
+            idle_s=deltas[IDLE],
+            layer_bytes=tuple(float(s.total_bytes) for s in stats),
+            layer_refresh_bytes=tuple(
+                float(s.refresh_bytes) for s in stats
+            ),
+            cache_hits=int(sum(s.cache_hits for s in stats)),
+            cache_misses=int(sum(s.cache_misses for s in stats)),
+        )
+        self._t = timeline.makespan
+        return obs
+
+
+def window_observations_from_records(
+    records: Sequence, window_requests: int, num_workers: int
+) -> List[WindowObservation]:
+    """Slice ledger records into fixed-size req_id windows and summarise.
+
+    ``records`` may be live :class:`~repro.serving.slo.RequestRecord`
+    objects or the plain dicts a recorded bundle stores -- both carry
+    ``req_id`` / ``arrival_s`` / ``finish_s`` / ``worker`` / ``shed``.
+    Records are sorted by ``req_id`` within each window before any
+    statistic is computed, so a replay from stored records reproduces
+    the live run's floats bit-identically (``np.mean`` is
+    order-sensitive).
+    """
+
+    def get(r, name):
+        return r[name] if isinstance(r, dict) else getattr(r, name)
+
+    rows = sorted(records, key=lambda r: get(r, "req_id"))
+    if not rows:
+        return []
+    num_windows = (get(rows[-1], "req_id") // window_requests) + 1
+    out: List[WindowObservation] = []
+    for wi in range(num_windows):
+        lo, hi = wi * window_requests, (wi + 1) * window_requests
+        win = [r for r in rows if lo <= get(r, "req_id") < hi]
+        if not win:
+            continue
+        latencies: List[float] = []
+        per_worker: Dict[int, List[float]] = {}
+        shed = 0
+        t_start = min(get(r, "arrival_s") for r in win)
+        t_end = t_start
+        for r in win:
+            if get(r, "shed") or get(r, "finish_s") is None:
+                shed += 1
+                continue
+            lat = get(r, "finish_s") - get(r, "arrival_s")
+            latencies.append(lat)
+            per_worker.setdefault(int(get(r, "worker")), []).append(lat)
+            t_end = max(t_end, float(get(r, "finish_s")))
+        lat_arr = np.array(latencies) if latencies else np.zeros(0)
+        out.append(WindowObservation(
+            window=wi,
+            t_start=float(t_start),
+            t_end=float(t_end),
+            num_workers=num_workers,
+            offered=len(win),
+            served=len(latencies),
+            shed=shed,
+            p50_s=float(np.percentile(lat_arr, 50)) if len(lat_arr) else 0.0,
+            p95_s=float(np.percentile(lat_arr, 95)) if len(lat_arr) else 0.0,
+            mean_s=float(lat_arr.mean()) if len(lat_arr) else 0.0,
+            worker_mean_s={
+                w: float(np.mean(v)) for w, v in sorted(per_worker.items())
+            },
+            worker_served={
+                w: len(v) for w, v in sorted(per_worker.items())
+            },
+        ))
+    return out
+
+
+__all__ = [
+    "EpochObservation",
+    "CrashObservation",
+    "WindowObservation",
+    "TimelineObserver",
+    "observation_from_dict",
+    "window_observations_from_records",
+]

@@ -21,6 +21,7 @@ from repro.resilience.faults import (
     FaultSchedule,
     LinkDegradationFault,
     MessageLossFault,
+    RecoveryExhaustedError,
     StragglerFault,
     WorkerCrashError,
     WorkerCrashFault,
@@ -44,6 +45,7 @@ __all__ = [
     "MessageLossFault",
     "WorkerCrashFault",
     "WorkerCrashError",
+    "RecoveryExhaustedError",
     "RetryPolicy",
     "FaultInjector",
     "TransferPlan",

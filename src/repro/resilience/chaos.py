@@ -30,7 +30,11 @@ from repro.cluster.spec import ClusterSpec
 from repro.cluster.timeline import IDLE
 from repro.comm.scheduler import CommOptions
 from repro.resilience.elastic import ShrinkRecord, rejoin_engine, shrink_engine
-from repro.resilience.faults import FaultSchedule, WorkerCrashError
+from repro.resilience.faults import (
+    FaultSchedule,
+    RecoveryExhaustedError,
+    WorkerCrashError,
+)
 from repro.resilience.recovery import RecoveryEvent, RecoveryPolicy
 from repro.resilience.retry import RetryPolicy
 
@@ -159,7 +163,9 @@ def run_chaos(
                 engine.charge_epoch()
             except WorkerCrashError as crash:
                 if crash_count >= policy.max_recoveries:
-                    raise
+                    raise RecoveryExhaustedError(
+                        crash.fault, crash.detected_at_s, crash_count
+                    ) from crash
                 crash_count += 1
                 fault = crash.fault
                 if (

@@ -41,7 +41,7 @@ original shape -- no rollback needed, the shared model is current.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -154,11 +154,14 @@ def _closure_delta_volumes(
 
 
 def _charge_transition(
-    new_engine, volumes: np.ndarray, handover_t: float
+    new_engine, volumes: np.ndarray, handover_t: float,
+    direction: str = "shrink",
 ) -> Tuple[float, float]:
     """Advance the new timeline to the handover and charge migration.
 
-    Returns ``(transition_seconds, preprocessing_s)``.
+    Returns ``(transition_seconds, preprocessing_s)``; the whole
+    transition is recorded as a ``migration`` span (tagged with
+    ``direction``) so chrome traces show elastic reshapes explicitly.
     """
     timeline = new_engine.timeline
     for w in range(new_engine.cluster.num_workers):
@@ -179,6 +182,14 @@ def _charge_transition(
         for w in range(new_engine.cluster.num_workers):
             timeline.advance(w, CPU, new_plan.preprocessing_s)
     t1 = timeline.barrier()
+    m = new_engine.cluster.num_workers
+    off_diag = ~np.eye(m, dtype=bool)
+    timeline.record_span(
+        0, "migration", t0, t1,
+        direction=direction,
+        migrated_bytes=int(volumes[off_diag].sum()),
+        num_workers=m,
+    )
     return t1 - t0, new_plan.preprocessing_s
 
 
@@ -213,7 +224,9 @@ def shrink_engine(engine, crash) -> Tuple[object, ShrinkRecord, MigrationReport]
         new_engine, new_plan, old_plan.cached_deps, plan.old_id
     )
     volumes = volumes + closure_volumes
-    seconds, prep_s = _charge_transition(new_engine, volumes, handover_t)
+    seconds, prep_s = _charge_transition(
+        new_engine, volumes, handover_t, direction="shrink"
+    )
     off_diag = ~np.eye(new_m, dtype=bool)
     report = MigrationReport(
         direction="shrink",
@@ -304,7 +317,9 @@ def rejoin_engine(
     # while the worker was away).
     peer = 0 if rejoined != 0 else 1
     volumes[peer, rejoined] += new_engine.model.parameter_bytes()
-    seconds, prep_s = _charge_transition(new_engine, volumes, handover_t)
+    seconds, prep_s = _charge_transition(
+        new_engine, volumes, handover_t, direction="rejoin"
+    )
     seconds += max(0.0, provision_s)
     off_diag = ~np.eye(m, dtype=bool)
     report = MigrationReport(

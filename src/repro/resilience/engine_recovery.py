@@ -75,4 +75,10 @@ def recover_from_crash(
         engine._hist_caches[worker].invalidate()
         engine._force_refresh = True
     t1 = engine.timeline.barrier()  # survivors idle until re-admission
+    engine.timeline.record_span(
+        worker, "recovery", t0, t1,
+        crashed_worker=worker,
+        refetch_bytes=refetch,
+        strategy="restart",
+    )
     return t1 - t0, refetch

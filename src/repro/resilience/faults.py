@@ -168,6 +168,27 @@ class WorkerCrashError(RuntimeError):
         self.detected_at_s = detected_at_s
 
 
+class RecoveryExhaustedError(WorkerCrashError):
+    """A crash landed after the recovery budget was already spent.
+
+    Subclasses :class:`WorkerCrashError` so existing ``except`` clauses
+    keep working, but carries the number of recoveries performed so
+    callers (the ``repro chaos`` CLI, the ops harness) can distinguish
+    "run aborted after exhausting ``max_recoveries``" from a first
+    unhandled crash and exit non-zero with a structured failure.
+    """
+
+    def __init__(
+        self, fault: WorkerCrashFault, detected_at_s: float, recoveries: int
+    ):
+        super().__init__(fault, detected_at_s)
+        self.recoveries = recoveries
+        self.args = (
+            f"recovery budget exhausted after {recoveries} "
+            f"recover{'y' if recoveries == 1 else 'ies'}: {self.args[0]}",
+        )
+
+
 @dataclass
 class FaultSchedule:
     """A seeded collection of faults applied to one simulated run.

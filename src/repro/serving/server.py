@@ -169,18 +169,38 @@ class InferenceServer:
         self.reader = StalenessBoundedReader(self.cache)
 
     # ------------------------------------------------------------------
-    def serve(self, requests: Sequence[Request]) -> ServingResult:
-        """Run the whole request stream and return the ledger."""
+    def serve(
+        self,
+        requests: Sequence[Request],
+        timeline: Optional[Timeline] = None,
+        ledger: Optional[LatencyLedger] = None,
+        predictions: Optional[Dict[int, int]] = None,
+        inflight: Optional[List[float]] = None,
+    ) -> ServingResult:
+        """Run a request stream (or one segment of it) and return the ledger.
+
+        With the default ``None`` state arguments the whole stream is
+        served against fresh state -- the historical behavior.  Passing
+        the ``timeline`` / ``ledger`` / ``predictions`` / ``inflight``
+        of a previous call continues that run instead, so a caller (the
+        ops harness) can serve a stream in segments, observe the ledger
+        between segments, and retune ``self.config`` mid-stream (e.g.
+        tighten admission control) without forking the simulated clock.
+        """
         cfg = self.config
         network = self.cluster.network
         m = self.cluster.num_workers
-        timeline = Timeline(m, record=self.record_timeline)
+        if timeline is None:
+            timeline = Timeline(m, record=self.record_timeline)
         injector = FaultInjector(self.faults) if self.faults else None
         batcher = MicroBatcher(cfg.batch_window_s, cfg.max_batch)
         batches = batcher.batches(requests)
-        ledger = LatencyLedger()
-        predictions: Dict[int, int] = {}
-        inflight: List[float] = []  # finish times of admitted requests
+        if ledger is None:
+            ledger = LatencyLedger()
+        if predictions is None:
+            predictions = {}
+        if inflight is None:
+            inflight = []  # finish times of admitted requests
 
         for batch in batches:
             self._serve_batch(

@@ -39,7 +39,7 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.resilience.elastic import ShrinkRecord, rejoin_engine, shrink_engine
-from repro.resilience.faults import WorkerCrashError
+from repro.resilience.faults import RecoveryExhaustedError, WorkerCrashError
 from repro.resilience.health import ClusterHealthMonitor
 from repro.resilience.recovery import RecoveryEvent, RecoveryPolicy
 from repro.training.checkpoint import save_checkpoint
@@ -135,7 +135,9 @@ class ResilientTrainer(DistributedTrainer):
     ) -> int:
         """Recover, roll back, and return the epoch to resume from."""
         if self._crash_count >= self.policy.max_recoveries:
-            raise crash
+            raise RecoveryExhaustedError(
+                crash.fault, crash.detected_at_s, self._crash_count
+            ) from crash
         self._crash_count += 1
         fault = crash.fault
         shrink = (

@@ -129,3 +129,97 @@ class TestSpanExport:
             tl.record_span(5, "batch", 0.0, 1.0)
         with pytest.raises(ValueError):
             tl.record_span(0, "batch", 1.0, 0.5)
+
+
+class TestOperationalSpanExport:
+    """Engine-produced spans (overlap, recovery, migration) round-trip."""
+
+    @staticmethod
+    def _engine(num_workers=4, faults=None):
+        from repro.cluster.spec import ClusterSpec
+        from repro.comm.scheduler import CommOptions
+        from repro.core.model import GNNModel
+        from repro.engines import DepCommEngine
+        from repro.graph import generators
+        from repro.training.prep import prepare_graph
+
+        g = generators.community(96, 4, avg_degree=10.0, seed=3)
+        generators.attach_features(g, 16, 4, seed=4, class_signal=2.0)
+        graph = prepare_graph(g, "gcn")
+        model = GNNModel.gcn(graph.feature_dim, 8, graph.num_classes, seed=2)
+        cluster = ClusterSpec.ecs(num_workers)
+        if faults is not None:
+            cluster = cluster.with_faults(faults)
+        return DepCommEngine(
+            graph, model, cluster,
+            record_timeline=True, overlap_pass=True,
+            # P optimization off => the exchange window is pure comm,
+            # so the pass is guaranteed positive slack to fold into.
+            comm=CommOptions(ring=True, lock_free=True, overlap=False),
+        )
+
+    def _crashed_engine(self):
+        from repro.resilience.faults import (
+            FaultSchedule,
+            WorkerCrashError,
+            WorkerCrashFault,
+        )
+
+        engine = self._engine(
+            faults=FaultSchedule([WorkerCrashFault(worker=1, at_time=0.0)])
+        )
+        with pytest.raises(WorkerCrashError) as excinfo:
+            engine.charge_epoch()
+        return engine, excinfo.value
+
+    @staticmethod
+    def _spans(tl, name, tmp_path, stem):
+        path = save_chrome_trace(tl, tmp_path / stem)
+        events = json.loads(path.read_text())["traceEvents"]
+        return [
+            e for e in events
+            if e.get("cat") == "span" and e["name"] == name
+        ]
+
+    def test_overlap_spans_round_trip(self, tmp_path):
+        engine = self._engine()
+        engine.charge_epoch()
+        recorded = [s for s in engine.timeline.spans if s.name == "overlap"]
+        assert recorded  # the 4-worker DepComm config folds exchanges
+        exported = self._spans(engine.timeline, "overlap", tmp_path, "ov")
+        assert len(exported) == len(recorded)
+        for span, event in zip(recorded, exported):
+            assert event["tid"] == span.worker
+            assert event["ts"] == pytest.approx(span.start * 1e6)
+            assert event["dur"] == pytest.approx(
+                (span.end - span.start) * 1e6
+            )
+            assert event["args"]["layer"] == span.args["layer"]
+            assert event["args"]["saved_s"] == span.args["saved_s"] > 0
+
+    def test_recovery_span_round_trip(self, tmp_path):
+        engine, crash = self._crashed_engine()
+        recovery_s, refetch = engine.recover_from_crash(crash)
+        exported = self._spans(engine.timeline, "recovery", tmp_path, "rec")
+        assert len(exported) == 1
+        event = exported[0]
+        assert event["tid"] == 1  # charged on the crashed worker's row
+        assert event["dur"] == pytest.approx(recovery_s * 1e6)
+        assert event["args"] == {
+            "crashed_worker": 1,
+            "refetch_bytes": refetch,
+            "strategy": "restart",
+        }
+
+    def test_migration_span_round_trip(self, tmp_path):
+        from repro.resilience.elastic import shrink_engine
+
+        engine, crash = self._crashed_engine()
+        shrunk, record, report = shrink_engine(engine, crash)
+        exported = self._spans(shrunk.timeline, "migration", tmp_path, "mig")
+        assert len(exported) == 1
+        event = exported[0]
+        assert event["dur"] == pytest.approx(report.seconds * 1e6)
+        assert event["args"]["direction"] == "shrink"
+        assert event["args"]["migrated_bytes"] == report.migrated_bytes
+        assert event["args"]["num_workers"] == shrunk.cluster.num_workers

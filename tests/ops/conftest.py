@@ -1,0 +1,19 @@
+"""Shared ops fixtures: one mitigated run per registered problem.
+
+The end-to-end runs are the expensive part of this suite (each charges
+a full training or serving workload), so they run once per session and
+every test shares the results.
+"""
+
+import pytest
+
+from repro.ops import list_problems, run_problem
+
+
+@pytest.fixture(scope="session")
+def mitigated_runs():
+    """{name: OpsRunResult} for every registered problem, seed 0."""
+    return {
+        p.name: run_problem(p, seed=0, mitigate=True)
+        for p in list_problems()
+    }

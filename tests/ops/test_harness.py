@@ -1,0 +1,137 @@
+"""End-to-end problem runs: verdicts, grades, determinism.
+
+All mitigated runs come from the session-scoped ``mitigated_runs``
+fixture (one engine run per problem); assertions use conservative
+thresholds so detector-tuning tweaks don't break them.
+"""
+
+import pytest
+
+from repro.cluster.trace import timeline_to_chrome_trace
+from repro.ops import (
+    WindowObservation,
+    bundle_from_result,
+    derive_sub_seed,
+    get_problem,
+    run_problem,
+)
+
+# What each built-in problem's verdict must pin, validated against the
+# injected ground truth (fault_worker / wildcard link / cached layer).
+EXPECTED_BLAME = {
+    "train-straggler": {"kind": "straggler", "worker": 2},
+    "train-link-degraded": {"kind": "link", "link": (1, None)},
+    "train-crash-permanent": {"kind": "crash", "worker": 2},
+    "train-cache-thrash": {"kind": "cache-thrash", "layer": 2},
+    "serve-slo-burn": {"kind": "slo-burn", "worker": 1},
+}
+
+ALL_PROBLEMS = sorted(EXPECTED_BLAME)
+
+
+@pytest.mark.parametrize("name", ALL_PROBLEMS)
+class TestMitigatedRuns:
+    def test_verdict_localizes_the_fault(self, mitigated_runs, name):
+        res = mitigated_runs[name]
+        expected = EXPECTED_BLAME[name]
+        assert res.verdict is not None
+        assert res.verdict.kind == expected["kind"]
+        for attr in ("worker", "link", "layer"):
+            if attr in expected:
+                assert getattr(res.verdict, attr) == expected[attr]
+        assert res.verdict.detected_at_s >= res.ground_truth.start_s
+
+    def test_detection_grade(self, mitigated_runs, name):
+        g = mitigated_runs[name].grade.detection
+        assert g.detected
+        assert g.kind_correct
+        assert g.blame_score == 1.0
+        assert g.score >= 0.9
+
+    def test_mitigation_grade(self, mitigated_runs, name):
+        res = mitigated_runs[name]
+        assert not res.aborted
+        assert res.mitigation is not None
+        assert res.mitigation.name == res.problem.mitigation
+        g = res.grade.mitigation
+        assert g.applied
+        assert g.recovered
+        assert g.recovery_s < float("inf")
+        assert g.score >= 0.3
+        assert res.grade.overall >= 0.6
+
+    def test_pipeline_saw_only_observables(self, mitigated_runs, name):
+        # The pipeline params recorded for replay are exactly the spec's
+        # warmup/baseline plus declared detector overrides -- nothing
+        # derived from the injected schedule.
+        res = mitigated_runs[name]
+        expected = {
+            "warmup_epochs": res.problem.warmup_epochs,
+            "baseline_windows": res.problem.baseline_epochs,
+        }
+        expected.update(res.problem.detector_params)
+        for key, value in expected.items():
+            assert res.pipeline_params[key] == value
+
+
+class TestRunArtifacts:
+    def test_shrink_records_migration_span(self, mitigated_runs):
+        for name in ("train-straggler", "train-crash-permanent"):
+            trace = timeline_to_chrome_trace(mitigated_runs[name].timeline)
+            spans = [
+                e for e in trace["traceEvents"]
+                if e.get("cat") == "span" and e["name"] == "migration"
+            ]
+            assert spans, f"{name}: no migration span in the trace"
+            assert spans[0]["args"]["direction"] == "shrink"
+
+    def test_serving_run_keeps_raw_ledger(self, mitigated_runs):
+        res = mitigated_runs["serve-slo-burn"]
+        assert res.ledger_records
+        req_ids = [r["req_id"] for r in res.ledger_records]
+        assert req_ids == sorted(req_ids)
+        assert all(
+            isinstance(o, WindowObservation) for o in res.observations
+        )
+        # The shed mitigation must actually shed load post-verdict.
+        assert any(r["shed"] for r in res.ledger_records)
+
+    def test_cache_thrash_truth_starts_at_injection(self, mitigated_runs):
+        res = mitigated_runs["train-cache-thrash"]
+        truth = res.ground_truth
+        assert truth.kind == "cache-thrash"
+        assert truth.layer == 2
+        # Injection happens mid-run, not at t=0.
+        assert truth.start_s > 0
+
+
+class TestUnmitigated:
+    def test_crash_without_mitigation_aborts(self, mitigated_runs):
+        problem = get_problem("train-crash-permanent")
+        res = run_problem(problem, seed=0, mitigate=False)
+        assert res.aborted
+        assert res.mitigation is None
+        assert res.verdict is not None  # detection still works
+        assert res.grade.mitigation.score == 0.0
+        assert res.grade.mitigation.recovery_s == float("inf")
+        # Mitigating must pay: same seed, strictly better overall grade.
+        assert (
+            mitigated_runs["train-crash-permanent"].grade.overall
+            > res.grade.overall
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_the_bundle_exactly(self, mitigated_runs):
+        problem = get_problem("train-cache-thrash")
+        rerun = run_problem(problem, seed=0, mitigate=True)
+        assert (
+            bundle_from_result(rerun)
+            == bundle_from_result(mitigated_runs["train-cache-thrash"])
+        )
+
+    def test_sub_seeds_are_stable_and_stream_independent(self):
+        assert derive_sub_seed(0, "graph") == derive_sub_seed(0, "graph")
+        assert derive_sub_seed(0, "graph") != derive_sub_seed(0, "faults")
+        assert derive_sub_seed(0, "graph") != derive_sub_seed(1, "graph")
+        assert 0 <= derive_sub_seed(0, "workload") < 2 ** 31

@@ -1,0 +1,63 @@
+"""Problem registry and spec validation."""
+
+import pytest
+
+from repro.ops import KINDS, OpsProblem, get_problem, list_problems, register
+
+
+class TestRegistry:
+    def test_required_scenarios_registered(self):
+        kinds = {p.kind for p in list_problems()}
+        assert kinds == set(KINDS)  # all five degradation classes
+
+    def test_at_least_five_problems(self):
+        assert len(list_problems()) >= 5
+
+    def test_listing_is_sorted_and_stable(self):
+        names = [p.name for p in list_problems()]
+        assert names == sorted(names)
+        assert names == [p.name for p in list_problems()]
+
+    def test_get_problem_roundtrip(self):
+        for problem in list_problems():
+            assert get_problem(problem.name) is problem
+
+    def test_unknown_problem_lists_known_names(self):
+        with pytest.raises(KeyError, match="train-straggler"):
+            get_problem("no-such-problem")
+
+    def test_duplicate_registration_rejected(self):
+        existing = list_problems()[0]
+        with pytest.raises(ValueError, match="already registered"):
+            register(existing)
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            OpsProblem(name="x", kind="gremlins", description="")
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="workload"):
+            OpsProblem(
+                name="x", kind="straggler", description="",
+                workload="batch",
+            )
+
+    def test_unknown_mitigation_rejected(self):
+        with pytest.raises(ValueError, match="mitigation"):
+            OpsProblem(
+                name="x", kind="straggler", description="",
+                mitigation="reboot",
+            )
+
+    def test_injection_must_follow_baseline(self):
+        with pytest.raises(ValueError, match="warmup"):
+            OpsProblem(
+                name="x", kind="straggler", description="",
+                inject_epoch=2, warmup_epochs=1, baseline_epochs=3,
+            )
+
+    def test_spec_dict_round_trips(self):
+        problem = get_problem("train-straggler")
+        assert OpsProblem(**problem.spec_dict()) == problem

@@ -1,0 +1,113 @@
+"""Recovery-budget exhaustion: structured failure instead of a loop.
+
+``max_recoveries`` bounds how many crashes one run may absorb; hitting
+the budget must surface as :class:`RecoveryExhaustedError` -- a
+:class:`WorkerCrashError` subclass carrying the recovery count -- from
+both the timing-mode chaos harness and the numeric ResilientTrainer,
+and as a non-zero exit with a structured ``failures`` payload from the
+``repro chaos`` CLI.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.model import GNNModel
+from repro.resilience import (
+    FaultSchedule,
+    RecoveryExhaustedError,
+    RecoveryPolicy,
+    WorkerCrashError,
+    WorkerCrashFault,
+)
+from repro.resilience.chaos import run_chaos
+from repro.training import ResilientTrainer
+
+
+def crash_every_epoch(n=10, worker=1, spacing_s=1e-4):
+    return FaultSchedule([
+        WorkerCrashFault(worker=worker, at_time=i * spacing_s,
+                         detection_timeout_s=0.0)
+        for i in range(n)
+    ])
+
+
+def model_factory(graph):
+    def factory():
+        return GNNModel.build(
+            "gcn", graph.feature_dim, 12, graph.num_classes, seed=7
+        )
+    return factory
+
+
+class TestChaosHarness:
+    def test_exhaustion_raises_structured_error(self, small_graph, cluster2):
+        with pytest.raises(RecoveryExhaustedError) as excinfo:
+            run_chaos(
+                "depcomm", small_graph, model_factory(small_graph),
+                cluster2, crash_every_epoch(),
+                epochs=4,
+                policy=RecoveryPolicy(max_recoveries=2),
+            )
+        err = excinfo.value
+        assert err.recoveries == 2
+        assert err.fault.worker == 1
+        assert "exhausted" in str(err)
+
+    def test_exhaustion_is_a_crash_error(self, small_graph, cluster2):
+        # Existing WorkerCrashError handlers keep working unchanged.
+        with pytest.raises(WorkerCrashError):
+            run_chaos(
+                "depcomm", small_graph, model_factory(small_graph),
+                cluster2, crash_every_epoch(),
+                epochs=4,
+                policy=RecoveryPolicy(max_recoveries=0),
+            )
+
+    def test_budget_not_hit_completes(self, small_graph, cluster2):
+        report = run_chaos(
+            "depcomm", small_graph, model_factory(small_graph),
+            cluster2, crash_every_epoch(n=2),
+            epochs=4,
+            policy=RecoveryPolicy(max_recoveries=8),
+        )
+        assert report.epochs == 4
+        assert len(report.recoveries) == 2
+
+
+class TestResilientTrainer:
+    def test_trainer_exhaustion_raises(self, small_graph, cluster2):
+        from repro.engines import make_engine
+
+        cluster = cluster2.with_faults(crash_every_epoch())
+        engine = make_engine(
+            "depcomm", small_graph, model_factory(small_graph)(), cluster
+        )
+        trainer = ResilientTrainer(
+            engine, policy=RecoveryPolicy(max_recoveries=1)
+        )
+        with pytest.raises(RecoveryExhaustedError) as excinfo:
+            trainer.train(4)
+        assert excinfo.value.recoveries == 1
+
+
+class TestChaosCLI:
+    def test_cli_exits_nonzero_with_failures_payload(self, capsys, tmp_path):
+        target = tmp_path / "chaos.json"
+        argv = [
+            "chaos", "--dataset", "cora", "--scale", "0.05",
+            "--nodes", "4", "--engine", "hybrid", "--epochs", "4",
+            "--json", str(target),
+        ]
+        for i in range(10):
+            argv += ["--crash", f"1:{(i + 1) * 1e-4}:0"]
+        rc = main(argv)
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        payload = json.loads(target.read_text())
+        failure = payload["failures"]["hybrid"]
+        assert failure["error"] == "recovery_exhausted"
+        assert failure["recoveries"] == failure["max_recoveries"] == 8
+        assert failure["worker"] == 1

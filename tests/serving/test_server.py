@@ -88,6 +88,78 @@ class TestExactness:
         assert batched.num_batches < unbatched.num_batches
 
 
+class TestSegmentedServing:
+    """Continuation state threaded through serve() across segments."""
+
+    @staticmethod
+    def _segmented(server, requests, width):
+        from repro.cluster.timeline import Timeline
+        from repro.serving.slo import LatencyLedger
+
+        state = {
+            "timeline": Timeline(server.cluster.num_workers),
+            "ledger": LatencyLedger(),
+            "predictions": {},
+            "inflight": [],
+        }
+        for i in range(0, len(requests), width):
+            server.serve(requests[i:i + width], **state)
+        return state
+
+    def test_segmented_equals_one_shot(self, serving_parts):
+        # One request per batch, so segment boundaries cannot change
+        # the batching; the segmented run must then be bit-identical.
+        graph = serving_parts[0]
+        requests = workload(graph)
+        config = ServingConfig(batch_window_s=0.0, max_batch=1)
+        one = make_server(serving_parts, config).serve(requests)
+        state = self._segmented(
+            make_server(serving_parts, config), requests, width=15
+        )
+        assert state["ledger"].to_dict() == one.ledger.to_dict()
+        assert state["predictions"] == one.predictions
+        assert state["timeline"].makespan == one.timeline.makespan
+
+    def test_segmented_equals_one_shot_under_faults(self, serving_parts):
+        from repro.resilience.faults import StragglerFault
+
+        graph = serving_parts[0]
+        requests = workload(graph)
+        config = ServingConfig(batch_window_s=0.0, max_batch=1, mode="local")
+        faults = lambda: FaultSchedule(  # noqa: E731 - fresh per server
+            [StragglerFault(worker=1, gpu_factor=20.0, start=0.002)]
+        )
+        one = make_server(serving_parts, config, faults=faults()).serve(
+            requests
+        )
+        state = self._segmented(
+            make_server(serving_parts, config, faults=faults()),
+            requests, width=20,
+        )
+        assert state["ledger"].to_dict() == one.ledger.to_dict()
+
+    def test_mid_stream_config_change_applies_to_later_segments(
+        self, serving_parts
+    ):
+        graph = serving_parts[0]
+        requests = workload(graph, n=60, rate=20000.0)
+        server = make_server(
+            serving_parts, ServingConfig(batch_window_s=0.0, max_batch=1)
+        )
+        state = self._segmented(server, requests[:30], width=30)
+        assert not any(r.shed for r in state["ledger"].records)
+        # Tighten admission control between segments: only the second
+        # half may shed.
+        server.config = ServingConfig(
+            batch_window_s=0.0, max_batch=1,
+            slo=SLOConfig(max_pending=1),
+        )
+        server.serve(requests[30:], **state)
+        shed_ids = [r.req_id for r in state["ledger"].records if r.shed]
+        assert shed_ids
+        assert min(shed_ids) >= 30
+
+
 class TestDeterminism:
     def test_same_seed_bit_identical_ledger(self, serving_parts):
         graph = serving_parts[0]

@@ -1,7 +1,11 @@
 """Derived random streams."""
 
+import re
+from pathlib import Path
+
 import numpy as np
 
+import repro.resilience
 from repro.utils.rng import derive_rng, derive_seed_sequence, derive_uniform
 
 
@@ -40,3 +44,27 @@ class TestDerivation:
             ).random()
         )
         assert derive_uniform(seed, phase, src, dst, attempt) == legacy
+
+
+class TestNoDirectRngInResilience:
+    def test_all_draws_route_through_derive_rng(self):
+        """Every random draw in the resilience layer must go through
+        ``repro.utils.rng`` so fault jitter stays replayable from a
+        single run seed; a direct ``default_rng``/``RandomState`` call
+        would fork an untracked stream."""
+        package_dir = Path(repro.resilience.__file__).parent
+        direct = re.compile(
+            r"np\.random\.(default_rng|RandomState|seed)\s*\("
+        )
+        offenders = []
+        for source in sorted(package_dir.glob("*.py")):
+            for lineno, line in enumerate(
+                source.read_text().splitlines(), start=1
+            ):
+                code = line.split("#", 1)[0]
+                if direct.search(code):
+                    offenders.append(f"{source.name}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "direct RNG construction in resilience (use derive_rng):\n"
+            + "\n".join(offenders)
+        )
