@@ -40,7 +40,13 @@ Commands
     traffic/staleness trade-off.
 ``explain-plan``
     Print the compiled per-layer dataflow program (step kinds, vertex
-    counts, bytes, applied passes) for an engine on a dataset.
+    counts, bytes, applied passes) for an engine on a dataset; with
+    ``--sampled`` (or a sampled engine) dry-runs the first mini-batch
+    round(s) and renders each round's compiled Program.
+``sample-sweep``
+    Sweep the sampled-training grid (sampler x fanout x kappa x
+    feature-cache capacity), reporting charged epoch time, comm
+    bytes, and reuse/cache counters per grid point.
 """
 
 from __future__ import annotations
@@ -68,6 +74,22 @@ def _cluster(args) -> ClusterSpec:
     if args.cluster == "ibv":
         return ClusterSpec.ibv(args.nodes)
     return ClusterSpec.cpu(args.nodes)
+
+
+def _add_sampling_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sampler", default="uniform",
+                        choices=["uniform", "labor", "ladies"],
+                        help="mini-batch sampler for --engine sampled "
+                             "(default uniform)")
+    parser.add_argument("--fanouts", default=None,
+                        help="comma-separated per-layer fanouts, seed layer "
+                             "first, e.g. '10,25' (default: the engine's)")
+    parser.add_argument("--kappa", type=float, default=0.0,
+                        help="batch-dependency knob: fraction of the "
+                             "previous batch's sampled closure reused "
+                             "(default 0 = independent batches)")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="mini-batch seed count (default 128)")
 
 
 def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
@@ -107,7 +129,7 @@ def _cache_config(args):
     )
 
 
-def _build(args, engine_name: str, comm: CommOptions = CommOptions.all()):
+def _build(args, engine_name: str, comm: CommOptions = CommOptions.all(), **extra):
     graph = prepare_graph(load_dataset(args.dataset, scale=args.scale), args.arch)
     spec = spec_of(args.dataset)
     model = GNNModel.build(
@@ -116,9 +138,40 @@ def _build(args, engine_name: str, comm: CommOptions = CommOptions.all()):
     )
     engine = make_engine(
         engine_name, graph, model, _cluster(args), comm=comm,
-        cache_config=_cache_config(args),
+        cache_config=_cache_config(args), **extra,
     )
     return graph, model, engine
+
+
+def _parse_fanouts(text: str):
+    """Parse ``'10,25;5,10'`` into ``((10, 25), (5, 10))``."""
+    groups = []
+    for group in text.split(";"):
+        group = group.strip()
+        if group:
+            groups.append(tuple(int(f) for f in group.split(",")))
+    if not groups:
+        raise SystemExit("--fanouts needs at least one group like '10,25'")
+    return tuple(groups)
+
+
+def _sampling_kwargs(args, engine_name: Optional[str] = None):
+    """Sampling flags forwarded to sampled engines (empty otherwise)."""
+    name = engine_name or getattr(args, "engine", None)
+    if name not in ("sampled", "distdgl"):
+        return {}
+    extra = {}
+    if getattr(args, "fanouts", None):
+        extra["fanouts"] = _parse_fanouts(args.fanouts)[0]
+    if getattr(args, "batch_size", None) is not None:
+        extra["batch_size"] = args.batch_size
+    if getattr(args, "kappa", 0.0):
+        extra["kappa"] = args.kappa
+    # The distdgl facade hardwires uniform sampling; only the generic
+    # sampled engine takes a sampler choice.
+    if name == "sampled" and getattr(args, "sampler", None):
+        extra["sampler"] = args.sampler
+    return extra
 
 
 def cmd_datasets(_args) -> int:
@@ -159,7 +212,7 @@ def cmd_probe(args) -> int:
 
 
 def cmd_train(args) -> int:
-    graph, model, engine = _build(args, args.engine)
+    graph, model, engine = _build(args, args.engine, **_sampling_kwargs(args))
     try:
         plan = engine.plan()
     except OutOfMemoryError as err:
@@ -225,6 +278,8 @@ def cmd_train(args) -> int:
 
 
 def cmd_explain_plan(args) -> int:
+    if args.sampled or args.engine in ("sampled", "distdgl"):
+        return _explain_sampled(args)
     from repro.execution import describe_program, render_program
 
     _, _, engine = _build(args, args.engine)
@@ -240,6 +295,83 @@ def cmd_explain_plan(args) -> int:
         print(f"program written to {args.json}")
     else:
         print(render_program(engine))
+    return 0
+
+
+def _explain_sampled(args) -> int:
+    """``explain-plan --sampled``: dry-run and render mini-batch rounds."""
+    from repro.sampling import describe_sampled_batches, render_sampled_batches
+
+    engine_name = (
+        args.engine if args.engine in ("sampled", "distdgl") else "sampled"
+    )
+    _, _, engine = _build(
+        args, engine_name, **_sampling_kwargs(args, engine_name)
+    )
+    if args.overlap_pass:
+        engine.overlap_pass = True
+    try:
+        engine.plan()
+    except OutOfMemoryError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    if args.json:
+        write_json(
+            args.json, describe_sampled_batches(engine, num_batches=args.batches)
+        )
+        print(f"program written to {args.json}")
+    else:
+        print(render_sampled_batches(engine, num_batches=args.batches))
+    return 0
+
+
+def cmd_sample_sweep(args) -> int:
+    from repro.sampling import run_sample_sweep
+
+    rows_data = run_sample_sweep(
+        args.dataset,
+        scale=args.scale,
+        samplers=tuple(s.strip() for s in args.samplers.split(",") if s.strip()),
+        fanouts=_parse_fanouts(args.fanouts),
+        kappas=tuple(float(k) for k in args.kappas.split(",")),
+        cache_mb=tuple(float(c) for c in args.cache_mb.split(",")),
+        cluster=_cluster(args),
+        arch=args.arch,
+        hidden=args.hidden,
+        batch_size=args.batch_size,
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    rows = [
+        [
+            r["sampler"],
+            ",".join(str(f) for f in r["fanouts"]),
+            f"{r['kappa']:g}",
+            f"{r['cache_mb']:g}",
+            f"{r['epoch_s'] * 1e3:.2f}",
+            f"{r['comm_bytes'] / 1e3:.1f}",
+            str(r["sampled_edges"]),
+            str(r["unique_remote"]),
+            str(r["fetched_rows"]),
+            str(r["reused_rows"]),
+            str(r["pinned_rows"]),
+        ]
+        for r in rows_data
+    ]
+    print(render_table(
+        ["sampler", "fanouts", "kappa", "cache MB", "epoch ms", "comm KB",
+         "edges", "uniq remote", "fetched", "reused", "pinned"],
+        rows,
+    ))
+    if args.json:
+        write_json(args.json, {
+            "dataset": args.dataset,
+            "nodes": args.nodes,
+            "cluster": args.cluster,
+            "batch_size": args.batch_size,
+            "epochs": args.epochs,
+            "rows": rows_data,
+        })
     return 0
 
 
@@ -939,7 +1071,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_args(train)
     _add_cluster_args(train)
     train.add_argument("--engine", default="hybrid",
-                       choices=["depcache", "depcomm", "hybrid", "distdgl"])
+                       choices=["depcache", "depcomm", "hybrid", "distdgl",
+                                "sampled"])
+    _add_sampling_args(train)
     train.add_argument("--epochs", type=int, default=30)
     train.add_argument("--lr", type=float, default=0.01)
     train.add_argument("--eval-every", type=int, default=5)
@@ -995,7 +1129,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_args(explain)
     _add_cluster_args(explain)
     explain.add_argument("--engine", default="hybrid",
-                         choices=["depcache", "depcomm", "hybrid", "roc"])
+                         choices=["depcache", "depcomm", "hybrid", "roc",
+                                  "distdgl", "sampled"])
+    explain.add_argument("--sampled", action="store_true",
+                         help="dry-run and render per-batch sampled "
+                              "programs (implied by a sampled engine)")
+    explain.add_argument("--batches", type=int, default=1,
+                         help="mini-batch rounds to render with --sampled "
+                              "(default 1)")
+    _add_sampling_args(explain)
     explain.add_argument("--tau", default=None,
                          help="staleness bound in epochs ('inf' allowed); "
                               "omit for no cache")
@@ -1008,6 +1150,29 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--json", default=None,
                          help="write the program description to this JSON "
                               "file")
+
+    ssweep = sub.add_parser(
+        "sample-sweep",
+        help="sweep sampler x fanout x kappa x feature-cache capacity",
+    )
+    _add_model_args(ssweep)
+    _add_cluster_args(ssweep)
+    ssweep.add_argument("--samplers", default="uniform,labor,ladies",
+                        help="comma-separated sampler names "
+                             "(default uniform,labor,ladies)")
+    ssweep.add_argument("--fanouts", default="10,25",
+                        help="semicolon-separated fanout groups, e.g. "
+                             "'10,25;5,10' (default '10,25')")
+    ssweep.add_argument("--kappas", default="0",
+                        help="comma-separated kappa values in [0,1]")
+    ssweep.add_argument("--cache-mb", default="0",
+                        help="comma-separated static feature-cache "
+                             "capacities in MB (0 = no cache)")
+    ssweep.add_argument("--batch-size", type=int, default=128)
+    ssweep.add_argument("--epochs", type=int, default=2,
+                        help="charged epochs per grid point (default 2)")
+    ssweep.add_argument("--json", default=None,
+                        help="write the sweep rows to this JSON file")
 
     analyze = sub.add_parser(
         "analyze", help="structural report + strategy recommendation"
@@ -1219,6 +1384,7 @@ _COMMANDS = {
     "serve": cmd_serve,
     "serve-bench": cmd_serve_bench,
     "explain-plan": cmd_explain_plan,
+    "sample-sweep": cmd_sample_sweep,
 }
 
 

@@ -7,6 +7,7 @@ from repro.engines.hybrid import HybridEngine
 from repro.engines.roc_like import RocLikeEngine
 from repro.engines.sampling import SamplingEngine
 from repro.engines.shared_memory import SharedMemoryEngine
+from repro.sampling.engine import SampledTrainingEngine
 
 _ENGINES = {
     "depcache": DepCacheEngine,
@@ -15,6 +16,7 @@ _ENGINES = {
     "roc": RocLikeEngine,
     "distdgl": SamplingEngine,
     "sampling": SamplingEngine,
+    "sampled": SampledTrainingEngine,
 }
 
 
@@ -36,6 +38,7 @@ __all__ = [
     "DepCommEngine",
     "HybridEngine",
     "RocLikeEngine",
+    "SampledTrainingEngine",
     "SamplingEngine",
     "SharedMemoryEngine",
     "make_engine",

@@ -1,16 +1,23 @@
-"""DistDGL-like engine: sampled mini-batch DepCache training.
+"""DistDGL-like engine: a thin façade over :mod:`repro.sampling`.
 
-Reproduces the defining behaviours of DistDGL (Section 2.2, 5.3):
+Reproduces the defining behaviours of DistDGL (Section 2.2, 5.3) as
+one configuration of :class:`~repro.sampling.SampledTrainingEngine`:
 
-- neighborhood sampling with a (10, 25) fanout -- at most 10 in-
-  neighbors of each seed, then at most 25 of each of those;
+- uniform neighborhood sampling with a (10, 25) fanout, drawn from the
+  single sequential RNG stream the pre-subsystem engine used
+  (``legacy_rng=True``), so loss trajectories reproduce bit for bit;
 - mini-batch synchronous SGD over each worker's training vertices;
-- per-batch *sampling RPCs* against the distributed graph store: the
-  sampled closure's remote vertex ids and features are fetched over the
-  network every batch, which is the bottleneck that keeps DistDGL's GPU
-  utilization low (Figure 13) and its bandwidth use high;
+- per-batch *sampling RPCs* against the distributed graph store
+  (``rpc_accounting=True``): the id-plane round trips and payloads
+  that keep DistDGL's GPU utilization low (Figure 13) — feature rows
+  themselves are priced by the compiled exchange phase like every
+  other engine;
 - an accuracy ceiling below full-batch training (Figure 14), because
   only a sampled subset of neighbors participates.
+
+The old private charging formulas are gone: every mini-batch now
+compiles to the typed Program IR and is charged by the accountant.
+``_sample_blocks`` survives for callers that want raw blocks.
 """
 
 from __future__ import annotations
@@ -20,24 +27,15 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.cluster.spec import ClusterSpec
-from repro.cluster.timeline import CPU, GPU, NET_RECV, Timeline
 from repro.comm.scheduler import CommOptions
-from repro.core.blocks import LayerBlock, build_block_from_edges
+from repro.core.blocks import LayerBlock
 from repro.core.model import GNNModel
-from repro.engines.base import BACKWARD_MULTIPLIER, EpochReport
 from repro.graph.graph import Graph
 from repro.partition.base import Partitioning
-from repro.partition.chunk import chunk_partition
-from repro.tensor import functional as F
-from repro.tensor.tensor import Tensor, no_grad
-
-# CPU seconds to draw one sampled edge from the local/remote store.
-_SAMPLE_SECONDS_PER_EDGE = 2.5e-7
-# Per-sampling-RPC latency (one round per layer per batch).
-_RPC_ROUNDS_PER_LAYER = 2
+from repro.sampling.engine import SampledTrainingEngine
 
 
-class SamplingEngine:
+class SamplingEngine(SampledTrainingEngine):
     """Mini-batch sampled training in the style of DistDGL."""
 
     name = "distdgl"
@@ -53,33 +51,25 @@ class SamplingEngine:
         batch_size: int = 128,
         record_timeline: bool = False,
         seed: int = 0,
-        **_ignored,
+        **kwargs,
     ):
-        if graph.features is None or graph.labels is None:
-            raise ValueError("training graph needs features and labels")
-        if len(fanouts) != model.num_layers:
-            raise ValueError("need one fanout per layer")
-        self.graph = graph
-        self.model = model
-        self.cluster = cluster
-        self.partitioning = partitioning or chunk_partition(
-            graph, cluster.num_workers
+        super().__init__(
+            graph,
+            model,
+            cluster,
+            partitioning=partitioning,
+            comm=comm,
+            fanouts=fanouts,
+            batch_size=batch_size,
+            record_timeline=record_timeline,
+            seed=seed,
+            sampler="uniform",
+            kappa=kwargs.pop("kappa", 0.0),
+            rpc_accounting=True,
+            legacy_rng=True,
+            **kwargs,
         )
-        self.fanouts = tuple(fanouts)
-        self.batch_size = batch_size
-        self.timeline: Timeline = cluster.make_timeline(record=record_timeline)
-        self.rng = np.random.default_rng(seed)
-        self.assignment = self.partitioning.assignment
-        self.dims = model.dims()
-        self.num_layers = model.num_layers
-        self._epoch = 0
 
-    # ------------------------------------------------------------------
-    def plan(self):
-        """Sampling has no static plan; kept for interface parity."""
-        return None
-
-    # ------------------------------------------------------------------
     def _sample_blocks(
         self, seeds: np.ndarray, worker: int = 0
     ) -> Tuple[List[LayerBlock], int, int]:
@@ -88,201 +78,12 @@ class SamplingEngine:
         ``blocks[l-1]`` computes layer ``l``; blocks are built top
         (layer L) first, so lower layers cover the expanded frontier.
         """
-        csc = self.graph.csc
-        blocks: List[Optional[LayerBlock]] = [None] * self.num_layers
-        frontier = np.unique(seeds)
-        total_edges = 0
-        remote_rows = 0
-        for l in range(self.num_layers, 0, -1):
-            fanout = self.fanouts[self.num_layers - l]
-            src_parts, dst_parts, eid_parts = [], [], []
-            for v in frontier:
-                lo, hi = csc.indptr[v], csc.indptr[v + 1]
-                degree = hi - lo
-                if degree == 0:
-                    continue
-                if degree <= fanout:
-                    take = np.arange(lo, hi)
-                else:
-                    take = lo + self.rng.choice(degree, size=fanout, replace=False)
-                src_parts.append(csc.other[take])
-                dst_parts.append(csc.key[take])
-                eid_parts.append(csc.edge_ids[take])
-            if src_parts:
-                src = np.concatenate(src_parts)
-                dst = np.concatenate(dst_parts)
-                eids = np.concatenate(eid_parts)
-            else:
-                src = dst = eids = np.empty(0, dtype=np.int64)
-            block = build_block_from_edges(
-                self.graph, frontier, src, dst, eids, l
-            )
-            blocks[l - 1] = block
-            total_edges += block.num_edges
-            frontier = block.input_vertices
-        # Remote rows: features fetched from peers for the bottom block.
-        owners = self.assignment[blocks[0].input_vertices]
-        remote_rows = int((owners != worker).sum())
-        return blocks, total_edges, remote_rows
-
-    # ------------------------------------------------------------------
-    def _charge_batch(
-        self, worker: int, blocks: List[LayerBlock], sampled_edges: int, remote_rows: int
-    ) -> None:
-        device = self.cluster.device
-        network = self.cluster.network
-        # Sampling CPU time + RPC rounds against the graph store.
-        self.timeline.advance(
-            worker, CPU, sampled_edges * _SAMPLE_SECONDS_PER_EDGE
+        closure = self.sampler.sample_batch(
+            self.graph, seeds, worker=worker, legacy_rng=self.rng
         )
-        rpc_bytes = remote_rows * (self.dims[0] * 4 + 8) + sampled_edges * 8
-        rpc_time = (
-            network.latency_s * _RPC_ROUNDS_PER_LAYER * self.num_layers
-            + rpc_bytes / network.bytes_per_s
+        owners = self.assignment[closure.blocks[0].input_vertices]
+        return (
+            closure.blocks,
+            closure.num_sampled_edges,
+            int((owners != worker).sum()),
         )
-        self.timeline.advance(worker, NET_RECV, rpc_time, num_bytes=int(rpc_bytes))
-        # GPU compute: forward + backward over the sampled blocks.
-        gpu = 0.0
-        for l in range(1, self.num_layers + 1):
-            layer = self.model.layer(l)
-            block = blocks[l - 1]
-            gpu += device.dense_time(layer.dense_flops(block))
-            gpu += device.sparse_time(layer.sparse_flops(block))
-            gpu += device.transfer_time(
-                block.num_inputs * self.dims[l - 1] * 4
-            )
-        self.timeline.advance(worker, GPU, gpu * (1.0 + BACKWARD_MULTIPLIER))
-
-    # ------------------------------------------------------------------
-    def _forward_blocks(
-        self, blocks: List[LayerBlock], training: bool
-    ) -> Tensor:
-        h = Tensor(
-            self.graph.features[blocks[0].input_vertices],
-            requires_grad=False,
-        )
-        out = h
-        for l in range(1, self.num_layers + 1):
-            layer = self.model.layer(l)
-            if training:
-                out = layer.forward(blocks[l - 1], out)
-            else:
-                with no_grad():
-                    out = layer.forward(blocks[l - 1], out)
-        return out
-
-    def run_epoch(self, optimizer=None) -> EpochReport:
-        """One epoch = every worker's train vertices in mini-batches."""
-        train_mask = self.graph.train_mask
-        if train_mask is None:
-            raise ValueError("graph has no train mask; call set_split()")
-        m = self.cluster.num_workers
-        t_start = self.timeline.barrier()
-        worker_batches = []
-        for w in range(m):
-            owned = self.partitioning.part(w)
-            mine = owned[train_mask[owned]]
-            self.rng.shuffle(mine)
-            worker_batches.append(
-                [
-                    mine[i : i + self.batch_size]
-                    for i in range(0, len(mine), self.batch_size)
-                ]
-            )
-        num_rounds = max((len(b) for b in worker_batches), default=0)
-        total_loss = 0.0
-        loss_terms = 0
-        comm_bytes = 0
-        for r in range(num_rounds):
-            for w in range(m):
-                if r >= len(worker_batches[w]) or len(worker_batches[w][r]) == 0:
-                    continue
-                seeds = worker_batches[w][r]
-                blocks, edges, remote_rows = self._sample_blocks(seeds, worker=w)
-                self._charge_batch(w, blocks, edges, remote_rows)
-                comm_bytes += remote_rows * self.dims[0] * 4
-                logits = self._forward_blocks(blocks, training=True)
-                rows = np.searchsorted(blocks[-1].compute_vertices, seeds)
-                loss = F.cross_entropy(logits[rows], self.graph.labels[seeds])
-                total_loss += float(loss.data)
-                loss_terms += 1
-                loss.backward()
-                if optimizer is not None:
-                    optimizer.step()
-                    optimizer.zero_grad()
-            # Synchronous SGD: parameter all-reduce each round.
-            self._charge_allreduce()
-            self.timeline.barrier()
-        t_end = self.timeline.barrier()
-        self._epoch += 1
-        return EpochReport(
-            epoch=self._epoch,
-            epoch_time_s=t_end - t_start,
-            loss=total_loss / max(loss_terms, 1),
-            comm_bytes=comm_bytes,
-            forward_time_s=0.0,
-            backward_time_s=0.0,
-            allreduce_time_s=0.0,
-        )
-
-    def charge_epoch(self) -> float:
-        """Timing-only epoch (samples blocks, skips tensor math)."""
-        train_mask = self.graph.train_mask
-        if train_mask is None:
-            raise ValueError("graph has no train mask; call set_split()")
-        m = self.cluster.num_workers
-        t_start = self.timeline.barrier()
-        worker_batches = []
-        for w in range(m):
-            owned = self.partitioning.part(w)
-            mine = owned[train_mask[owned]]
-            worker_batches.append(
-                [
-                    mine[i : i + self.batch_size]
-                    for i in range(0, len(mine), self.batch_size)
-                ]
-            )
-        num_rounds = max((len(b) for b in worker_batches), default=0)
-        for r in range(num_rounds):
-            for w in range(m):
-                if r >= len(worker_batches[w]) or len(worker_batches[w][r]) == 0:
-                    continue
-                blocks, edges, remote_rows = self._sample_blocks(
-                    worker_batches[w][r], worker=w
-                )
-                self._charge_batch(w, blocks, edges, remote_rows)
-            self._charge_allreduce()
-            self.timeline.barrier()
-        self._epoch += 1
-        return self.timeline.barrier() - t_start
-
-    def _charge_allreduce(self) -> None:
-        m = self.cluster.num_workers
-        if m == 1:
-            return
-        network = self.cluster.network
-        param_bytes = self.model.parameter_bytes()
-        wire = 2.0 * (m - 1) / m * param_bytes / network.bytes_per_s
-        for w in range(m):
-            self.timeline.advance(
-                w, "net_send", wire + 2 * (m - 1) * network.latency_s,
-                num_bytes=int(param_bytes),
-            )
-
-    # ------------------------------------------------------------------
-    def evaluate(self, mask: Optional[np.ndarray] = None) -> float:
-        """Sampled-inference accuracy (the sampling accuracy ceiling)."""
-        if mask is None:
-            mask = self.graph.test_mask
-        if mask is None:
-            raise ValueError("graph has no test mask; call set_split()")
-        targets = np.where(mask)[0]
-        correct = 0
-        for i in range(0, len(targets), self.batch_size):
-            seeds = targets[i : i + self.batch_size]
-            blocks, _, _ = self._sample_blocks(seeds)
-            logits = self._forward_blocks(blocks, training=False)
-            rows = np.searchsorted(blocks[-1].compute_vertices, seeds)
-            predictions = logits.data[rows].argmax(axis=1)
-            correct += int((predictions == self.graph.labels[seeds]).sum())
-        return correct / len(targets) if len(targets) else 0.0

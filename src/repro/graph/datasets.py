@@ -27,7 +27,7 @@ class DatasetSpec:
     """One row of Table 2 plus generation parameters."""
 
     name: str
-    kind: str  # locality | community | citation
+    kind: str  # locality | community | citation | social
     num_vertices: int
     avg_degree: float
     feature_dim: int
@@ -116,6 +116,17 @@ DATASETS: Dict[str, DatasetSpec] = {
             paper_vertices="42M", paper_edges="1.5B", paper_avg_degree=70.5,
             paper_num_vertices=42_000_000,
         ),
+        # Scaled-up social graph for the sampled mini-batch pipeline:
+        # 12x the largest catalog graph, hub-skewed (Zipf sources), so
+        # full-batch training is communication-bound and importance
+        # samplers have overlapping candidate lists to exploit.
+        DatasetSpec(
+            name="social-large", kind="social", num_vertices=40960,
+            avg_degree=16.0, feature_dim=64, num_labels=16, hidden_dim=64,
+            num_communities=16, hub_exponent=0.85,
+            paper_vertices="-", paper_edges="-", paper_avg_degree=16.0,
+            paper_num_vertices=40_960,
+        ),
         DatasetSpec(
             name="cora", kind="citation", num_vertices=1800, avg_degree=2.0,
             feature_dim=1000, num_labels=7, hidden_dim=128,
@@ -174,12 +185,20 @@ def _build(name: str, scale: float, seed: int) -> Graph:
         )
     elif spec.kind == "citation":
         g = generators.citation(n, avg_degree=spec.avg_degree, seed=seed)
+    elif spec.kind == "social":
+        g = generators.scaled_social(
+            n,
+            avg_degree=spec.avg_degree,
+            num_communities=spec.num_communities or spec.num_labels,
+            hub_exponent=spec.hub_exponent,
+            seed=seed,
+        )
     else:  # pragma: no cover - catalog is static
         raise ValueError(f"unknown generator kind {spec.kind!r}")
     g.name = name
     generators.attach_features(
         g, spec.feature_dim, spec.num_labels, seed=seed + 1,
-        class_signal=0.6 if spec.kind == "community" else 0.5,
+        class_signal=0.6 if spec.kind in ("community", "social") else 0.5,
         label_noise=0.06 if spec.kind == "community" else 0.0,
     )
     return g

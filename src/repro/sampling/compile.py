@@ -1,0 +1,241 @@
+"""Lower one round of sampled mini-batches onto the typed Program IR.
+
+:func:`compile_round` takes the closures every worker sampled for the
+current round and produces the same ``(EnginePlan, Program)`` pair a
+full-batch engine builds once at plan time — which is the whole point
+of the subsystem: the accountant's exchange superstep (faults, retry,
+overlap), the pass pipeline (``OverlapExchangePass``), chrome-trace
+spans, and ops signals all price sampled rounds through the exact code
+path full-batch training uses, instead of a private RPC formula.
+
+The sampled dataflow differs from full-batch in one structural way:
+only layer 1 moves data (remote *feature* rows for the bottom block's
+inputs); upper layers compute on activations produced locally by the
+layer below, so their exchanges are empty.  The layer-1 fetch list is
+the remote frontier minus rows credited to the batch-dependency reuse
+(kappa: sources covered by re-served neighbor lists are still resident
+from the previous round) and minus rows pinned in the static feature
+cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.blocks import build_block_from_edges
+from repro.core.mirror import MirrorExchange
+from repro.execution.plan import EnginePlan
+from repro.execution.program import (
+    ComputeSpec,
+    EdgeForwardStep,
+    ExchangePhase,
+    GatherByDstStep,
+    GetFromDepNbrStep,
+    LayerProgram,
+    Program,
+    ScatterToEdgeStep,
+    VertexForwardStep,
+    WorkerLayerProgram,
+)
+from repro.sampling.closure import SampledClosure
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+@dataclass
+class RoundTraffic:
+    """Feature-plane bookkeeping for one compiled round."""
+
+    fetch_ids: List[np.ndarray]  # [worker] -> remote rows on the wire
+    remote_rows: int = 0  # unique remote bottom inputs, all workers
+    fetch_rows: int = 0  # rows actually exchanged
+    reused_rows: int = 0  # rows credited to kappa reuse
+    pinned_rows: int = 0  # rows served by the static feature cache
+    saved_bytes: int = 0  # feature bytes reuse + cache kept off the wire
+    per_worker_fetch: Dict[int, int] = field(default_factory=dict)
+
+
+def _empty_closure_block(graph, layer: int):
+    return build_block_from_edges(graph, _EMPTY, _EMPTY, _EMPTY, _EMPTY, layer)
+
+
+def _bottom_fetch(engine, closure: SampledClosure) -> Tuple[np.ndarray, dict]:
+    """Split one worker's bottom-layer remote inputs into fetched /
+    reuse-covered / cache-pinned rows."""
+    w = closure.worker
+    inputs = closure.blocks[0].input_vertices
+    remote = inputs[engine.assignment[inputs] != w]
+    covered = (
+        np.intersect1d(remote, closure.reused_srcs)
+        if len(closure.reused_srcs)
+        else _EMPTY
+    )
+    rest = np.setdiff1d(remote, covered)
+    if engine.feature_cache is not None:
+        pinned = np.intersect1d(rest, engine.feature_cache.pinned_for(w))
+        fetch = np.setdiff1d(rest, pinned)
+    else:
+        pinned = _EMPTY
+        fetch = rest
+    counts = {
+        "remote": len(remote),
+        "reused": len(covered),
+        "pinned": len(pinned),
+        "fetch": len(fetch),
+    }
+    return fetch, counts
+
+
+def compile_round(
+    engine, closures: Dict[int, SampledClosure]
+) -> Tuple[EnginePlan, Program, RoundTraffic]:
+    """Compile one round of per-worker sampled closures.
+
+    Returns ``(plan, program, traffic)``; the program has *not* yet had
+    passes applied (callers run :func:`repro.execution.run_passes`).
+    """
+    m = engine.cluster.num_workers
+    L = engine.num_layers
+    graph = engine.graph
+
+    fetch_lists: List[np.ndarray] = [_EMPTY] * m
+    traffic = RoundTraffic(fetch_ids=fetch_lists)
+    d0 = engine.dims[0]
+    for w, closure in closures.items():
+        fetch, counts = _bottom_fetch(engine, closure)
+        fetch_lists[w] = fetch
+        traffic.remote_rows += counts["remote"]
+        traffic.reused_rows += counts["reused"]
+        traffic.pinned_rows += counts["pinned"]
+        traffic.fetch_rows += counts["fetch"]
+        traffic.per_worker_fetch[w] = counts["fetch"]
+        traffic.saved_bytes += (counts["reused"] + counts["pinned"]) * d0 * 4
+
+    empty_lists = [_EMPTY] * m
+    bottom_exchange = MirrorExchange(engine.assignment, fetch_lists, m)
+    no_exchange = MirrorExchange(engine.assignment, empty_lists, m)
+    exchanges = [bottom_exchange] + [no_exchange] * (L - 1)
+
+    blocks: List[List] = []
+    compute_sets: List[List[np.ndarray]] = []
+    for l in range(1, L + 1):
+        row = []
+        sets = []
+        for w in range(m):
+            closure = closures.get(w)
+            if closure is None:
+                row.append(_empty_closure_block(graph, l))
+            else:
+                row.append(closure.blocks[l - 1])
+            sets.append(row[-1].compute_vertices)
+        blocks.append(row)
+        compute_sets.append(sets)
+
+    plan = EnginePlan(
+        compute_sets=compute_sets,
+        blocks=blocks,
+        comm_ids=[list(fetch_lists)] + [list(empty_lists) for _ in range(L - 1)],
+        exchanges=exchanges,
+        cached_deps=[list(empty_lists) for _ in range(L)],
+        stale_deps=[list(empty_lists) for _ in range(L)],
+        refresh_exchanges=[no_exchange] * L,
+    )
+
+    layers: List[LayerProgram] = []
+    for l in range(1, L + 1):
+        ex = exchanges[l - 1]
+        phase = ExchangePhase(
+            layer=l,
+            volumes=ex.volume_matrix(engine.dims[l - 1]),
+            refresh_volumes=no_exchange.volume_matrix(engine.dims[l - 1]),
+            bytes_per_message=engine.dims[l - 1] * 4,
+            refresh_entries=0,
+        )
+        workers = []
+        for w in range(m):
+            block = blocks[l - 1][w]
+            fetch = fetch_lists[w] if l == 1 else _EMPTY
+            spec = _worker_spec(engine, block, l, w, fetch, ex)
+            remote = int((engine.assignment[block.input_vertices] != w).sum())
+            num_fetch = len(fetch)
+            steps = (
+                GetFromDepNbrStep(
+                    num_inputs=block.num_inputs,
+                    num_local=block.num_inputs - remote,
+                    num_fetch=num_fetch,
+                    num_cached=remote - num_fetch,
+                    num_recompute=0,
+                    fetch_bytes=num_fetch * engine.dims[l - 1] * 4,
+                    cached_bytes=(remote - num_fetch) * engine.dims[l - 1] * 4,
+                ),
+                ScatterToEdgeStep(num_edges=block.num_edges),
+                EdgeForwardStep(
+                    num_edges=block.num_edges,
+                    sparse_flops=spec.sparse_flops,
+                ),
+                GatherByDstStep(
+                    num_edges=block.num_edges,
+                    num_outputs=block.num_outputs,
+                ),
+                VertexForwardStep(
+                    num_outputs=block.num_outputs,
+                    dense_flops=spec.dense_flops,
+                ),
+            )
+            workers.append(
+                WorkerLayerProgram(
+                    worker=w, layer=l, steps=steps, compute=spec,
+                    stale_rows=None,
+                )
+            )
+        layers.append(LayerProgram(layer=l, exchange=phase, workers=workers))
+
+    program = Program(
+        num_layers=L,
+        num_workers=m,
+        dims=list(engine.dims),
+        layers=layers,
+        pos_in_compute=[],
+    )
+    return plan, program, traffic
+
+
+def _worker_spec(engine, block, l, w, fetch, exchange) -> ComputeSpec:
+    """Timing split for worker ``w``: chunk work from each sender for
+    the bottom layer, purely local work above it.
+
+    For layers above the bottom every input row is produced locally by
+    the layer below (``num_cached`` in the gather step counts those
+    already-resident remote-owned activations), so ``chunk_edges`` is
+    zero and the whole edge set is communication-independent.
+    """
+    m = engine.cluster.num_workers
+    w_layer = engine.model.layer(l)
+    chunk_edges = np.zeros(m, dtype=np.int64)
+    chunk_vertices = np.zeros(m, dtype=np.int64)
+    local_edges = 0
+    sparse_flops = 0.0
+    if block.num_edges:
+        sparse_flops = float(w_layer.sparse_flops(block))
+        if l == 1 and len(fetch):
+            received = np.isin(block.edge_src_global, fetch)
+            owners = engine.assignment[block.edge_src_global]
+            for j in range(m):
+                sel = received & (owners == j)
+                chunk_edges[j] = int(sel.sum())
+                chunk_vertices[j] = len(exchange.recv_ids.get((j, w), ()))
+            local_edges = int((~received).sum())
+        else:
+            local_edges = block.num_edges
+    return ComputeSpec(
+        sparse_flops=sparse_flops,
+        dense_flops=float(w_layer.dense_flops(block)),
+        num_edges=block.num_edges,
+        d_in=engine.dims[l - 1],
+        chunk_edges=chunk_edges,
+        chunk_vertices=chunk_vertices,
+        local_edges=local_edges,
+    )

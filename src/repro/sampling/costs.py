@@ -1,0 +1,59 @@
+"""Sampling-specific costs derived from the probed cost model.
+
+The old DistDGL engine hard-coded ``_SAMPLE_SECONDS_PER_EDGE`` and
+``_RPC_ROUNDS_PER_LAYER``.  Sampled and full-batch charge times are
+only comparable if they come from the same measurements, so this
+module derives both knobs from the probed ``T_e`` constants (CPU
+seconds per processed edge) and the cluster's network profile:
+
+- drawing one candidate edge from the graph store is charged like one
+  forward-pass edge traversal: ``mean_l(T_e[l]) / backward_factor``
+  undoes the backward-inclusive scaling ``probe_constants`` applies;
+- each layer of sampling costs one id-plane RPC round trip against the
+  remote graph stores (request + response, ``2 x latency``), with id
+  payloads priced at the profiled bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.costmodel.probe import _BACKWARD_COMPUTE, ProbeResult
+
+# Bytes per vertex/edge identifier on the wire (int64).
+ID_BYTES = 8
+
+
+@dataclass(frozen=True)
+class SamplingCostModel:
+    """Charge rates for the sampling phase of a mini-batch."""
+
+    sample_seconds_per_edge: float
+    rpc_round_trip_s: float
+    bytes_per_s: float
+
+    @classmethod
+    def from_probe(cls, constants: ProbeResult, network) -> "SamplingCostModel":
+        per_edge = float(np.mean(constants.t_e_layer)) / _BACKWARD_COMPUTE
+        return cls(
+            sample_seconds_per_edge=per_edge,
+            rpc_round_trip_s=2.0 * network.latency_s,
+            bytes_per_s=network.bytes_per_s,
+        )
+
+    def sampling_seconds(self, num_edges: int) -> float:
+        """CPU time to draw ``num_edges`` candidate edges."""
+        return num_edges * self.sample_seconds_per_edge
+
+    def rpc_charge(
+        self, num_layers: int, sampled_edges: int, requested_rows: int
+    ) -> tuple:
+        """Id-plane RPC ``(seconds, bytes)`` for one batch: edge ids
+        returned by per-layer sampling RPCs plus the feature-row ids
+        requested from peers (feature *payloads* are charged by the
+        exchange phase, not here)."""
+        nbytes = sampled_edges * ID_BYTES + requested_rows * ID_BYTES
+        seconds = num_layers * self.rpc_round_trip_s + nbytes / self.bytes_per_s
+        return seconds, nbytes

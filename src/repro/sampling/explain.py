@@ -1,0 +1,154 @@
+"""Inspectable sampled programs: ``repro explain-plan --sampled``.
+
+Full-batch plans are static, so ``explain-plan`` compiles once and
+prints.  Sampled programs exist per mini-batch, so this module dry-runs
+the first round(s) of the next epoch — deterministic batch order, no
+shuffling, no timeline charges, engine state untouched — and renders
+each round's compiled Program next to the sampling facts the IR cannot
+show (seed counts, per-layer frontier growth, kappa reuse fraction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.execution.passes import run_passes
+from repro.sampling.closure import ReuseState
+from repro.sampling.compile import compile_round
+from repro.utils.rng import derive_rng
+
+
+def describe_sampled_batches(engine, num_batches: int = 1) -> Dict[str, object]:
+    """JSON-friendly description of the next ``num_batches`` rounds."""
+    worker_batches = engine._worker_batches(shuffle=False)
+    num_rounds = max((len(b) for b in worker_batches), default=0)
+    # Legacy engines draw from one shared sequential stream; dry-run
+    # with a fresh clone so the engine's own stream is untouched.
+    legacy = derive_rng(engine.seed) if engine.rng is not None else None
+    reuse = [
+        ReuseState() if engine.kappa > 0.0 else None
+        for _ in range(engine.cluster.num_workers)
+    ]
+    rounds: List[Dict[str, object]] = []
+    for r in range(min(num_batches, num_rounds)):
+        closures = {}
+        for w in range(engine.cluster.num_workers):
+            if r < len(worker_batches[w]) and len(worker_batches[w][r]):
+                closures[w] = engine.sampler.sample_batch(
+                    engine.graph,
+                    worker_batches[w][r],
+                    worker=w,
+                    epoch=engine._epoch,
+                    batch=r,
+                    kappa=engine.kappa,
+                    state=reuse[w],
+                    legacy_rng=legacy,
+                )
+        if not closures:
+            continue
+        plan, program, traffic = compile_round(engine, closures)
+        program = run_passes(program, engine)
+        workers = []
+        for w in sorted(closures):
+            closure = closures[w]
+            workers.append({
+                "worker": w,
+                "num_seeds": int(len(closure.seeds)),
+                "frontier_sizes": [int(x) for x in closure.frontier_sizes],
+                "sampled_edges": int(closure.num_sampled_edges),
+                "reused_vertices": int(closure.reused_vertices),
+                "reuse_fraction": float(closure.reuse_fraction),
+                "fetch_rows": int(traffic.per_worker_fetch.get(w, 0)),
+            })
+        layers = []
+        for lp in program.layers:
+            ex = lp.exchange
+            layers.append({
+                "layer": lp.layer,
+                "exchange_bytes": ex.total_bytes(),
+                "workers": [
+                    {
+                        "worker": wp.worker,
+                        "steps": [
+                            {"kind": s.kind, **{
+                                k: (int(v) if isinstance(v, (int,)) else v)
+                                for k, v in vars(s).items()
+                            }}
+                            for s in wp.steps
+                        ],
+                        "fold_dense": bool(ex.fold_dense[wp.worker]),
+                    }
+                    for wp in lp.workers
+                ],
+            })
+        rounds.append({
+            "round": r,
+            "workers": workers,
+            "passes": list(program.passes),
+            "layers": layers,
+            "traffic": {
+                "remote_rows": traffic.remote_rows,
+                "fetch_rows": traffic.fetch_rows,
+                "reused_rows": traffic.reused_rows,
+                "pinned_rows": traffic.pinned_rows,
+                "saved_bytes": traffic.saved_bytes,
+            },
+        })
+    return {
+        "engine": engine.name,
+        "sampler": engine.sampler.name,
+        "fanouts": list(engine.fanouts),
+        "kappa": engine.kappa,
+        "batch_size": engine.batch_size,
+        "num_workers": engine.cluster.num_workers,
+        "num_layers": engine.num_layers,
+        "rounds": rounds,
+    }
+
+
+def render_sampled_batches(engine, num_batches: int = 1) -> str:
+    """Terminal rendering of :func:`describe_sampled_batches`."""
+    desc = describe_sampled_batches(engine, num_batches=num_batches)
+    lines = [
+        f"sampled program: engine={desc['engine']} "
+        f"sampler={desc['sampler']} fanouts={desc['fanouts']} "
+        f"kappa={desc['kappa']} batch_size={desc['batch_size']} "
+        f"workers={desc['num_workers']}"
+    ]
+    for rnd in desc["rounds"]:
+        t = rnd["traffic"]
+        lines.append(
+            f"round {rnd['round']}: fetch {t['fetch_rows']} rows "
+            f"(remote {t['remote_rows']}, reused {t['reused_rows']}, "
+            f"pinned {t['pinned_rows']}, saved {t['saved_bytes']} B)"
+            + (
+                f"  passes: {', '.join(rnd['passes'])}"
+                if rnd["passes"]
+                else ""
+            )
+        )
+        for wk in rnd["workers"]:
+            sizes = " -> ".join(str(s) for s in wk["frontier_sizes"])
+            lines.append(
+                f"  worker {wk['worker']}: seeds={wk['num_seeds']} "
+                f"frontier {sizes} edges={wk['sampled_edges']} "
+                f"reuse={wk['reuse_fraction']:.2f} "
+                f"fetch={wk['fetch_rows']}"
+            )
+        for layer in rnd["layers"]:
+            per_worker = []
+            for wk in layer["workers"]:
+                gather = wk["steps"][0]
+                flags = " fold-dense" if wk["fold_dense"] else ""
+                per_worker.append(
+                    f"w{wk['worker']}(in={gather['num_inputs']} "
+                    f"local={gather['num_local']} "
+                    f"fetch={gather['num_fetch']} "
+                    f"cached={gather['num_cached']}){flags}"
+                )
+            lines.append(
+                f"  layer {layer['layer']}: "
+                f"exchange {layer['exchange_bytes']} B  "
+                + "  ".join(per_worker)
+            )
+    return "\n".join(lines)

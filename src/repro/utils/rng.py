@@ -51,3 +51,59 @@ def derive_rng(seed: int, *stream: StreamPart) -> np.random.Generator:
 def derive_uniform(seed: int, *stream: StreamPart) -> float:
     """One deterministic uniform draw in [0, 1) for a stream path."""
     return float(derive_rng(seed, *stream).random())
+
+
+# ----------------------------------------------------------------------
+# Keyed per-id draws (counter-based, order-free).
+#
+# Samplers need a uniform *per vertex or edge id* that does not depend
+# on how many draws happened before it: LABOR requires all candidate
+# lists that contain vertex ``u`` to see the *same* uniform for ``u``,
+# and the batch-dependency knob needs reuse decisions that are nested
+# across kappa values.  A sequential generator cannot provide either,
+# so these helpers hash ``(stream path, id)`` through splitmix64.
+
+_U64 = (1 << 64) - 1
+_GAMMA = 0x9E3779B97F4A7C15
+_MIX_1 = 0xBF58476D1CE4E5B9
+_MIX_2 = 0x94D049BB133111EB
+
+
+def _splitmix64_int(z: int) -> int:
+    z &= _U64
+    z = ((z ^ (z >> 30)) * _MIX_1) & _U64
+    z = ((z ^ (z >> 27)) * _MIX_2) & _U64
+    return z ^ (z >> 31)
+
+
+def _stream_key(seed: int, *stream: StreamPart) -> int:
+    """Fold a stream path into one 64-bit key (same components as
+    :func:`derive_seed_sequence`, so stream naming stays uniform)."""
+    key = _splitmix64_int((int(seed) & _MASK) + _GAMMA)
+    for part in stream:
+        key = _splitmix64_int(key ^ (_component(part) + _GAMMA))
+    return key
+
+
+def hashed_uint64(seed: int, *stream: StreamPart, ids) -> np.ndarray:
+    """One 64-bit hash per id, a pure function of ``(stream path, id)``."""
+    ids = np.asarray(ids, dtype=np.int64).astype(np.uint64)
+    key = np.uint64(_stream_key(seed, *stream))
+    with np.errstate(over="ignore"):
+        z = (ids + np.uint64(1)) * np.uint64(_GAMMA) + key
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(_MIX_1)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX_2)
+    return z ^ (z >> np.uint64(31))
+
+
+def hashed_uniforms(seed: int, *stream: StreamPart, ids) -> np.ndarray:
+    """One uniform in [0, 1) per id, keyed by ``(stream path, id)``.
+
+    Unlike ``derive_rng(...).random(n)`` the value for a given id is
+    independent of every other id in the batch and of call order, which
+    is what makes LABOR's shared per-vertex uniforms and nested-in-kappa
+    reuse sets possible.
+    """
+    return (hashed_uint64(seed, *stream, ids=ids) >> np.uint64(11)) * float(
+        2.0**-53
+    )

@@ -12,7 +12,10 @@ class TestCatalog:
             "google", "pokec", "livejournal", "reddit", "orkut",
             "wiki", "twitter", "cora", "citeseer", "pubmed",
         }
-        assert set(DATASETS) == expected
+        assert expected <= set(DATASETS)
+        # Non-Table-2 entries are synthetic scale-up graphs for the
+        # sampling benchmarks, not paper rows.
+        assert set(DATASETS) - expected == {"social-large"}
 
     def test_specs_have_paper_fields(self):
         for spec in DATASETS.values():

@@ -1,0 +1,87 @@
+"""Facade regression: the rewritten distdgl engine vs its golden run.
+
+``tests/data/distdgl_golden.json`` was recorded against the
+pre-subsystem ``engines/sampling.py`` (a standalone engine with its own
+sampling loop and private charging formulas).  The rewrite keeps the
+numerics bit-for-bit -- same sequential RNG draw order, same loss
+accumulation order -- while the *charged time* now flows through the
+compiled Program IR and probe-derived constants, so times are asserted
+within a band rather than exactly.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.model import GNNModel
+from repro.engines import SamplingEngine
+from repro.graph import generators
+from repro.tensor import optim
+from repro.training.prep import prepare_graph
+
+GOLDEN = Path(__file__).parent.parent / "data" / "distdgl_golden.json"
+TIME_BAND = (0.5, 2.0)  # compiled-path charge vs legacy formula charge
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN.read_text())
+
+
+def _build_engine(golden):
+    config = golden["config"]
+    g = generators.community(128, 4, avg_degree=8.0, seed=3)
+    generators.attach_features(g, 16, 4, seed=4, class_signal=2.0)
+    graph = prepare_graph(g, config["arch"])
+    model = GNNModel.build(
+        config["arch"], graph.feature_dim, config["hidden"],
+        graph.num_classes, seed=config["model_seed"],
+    )
+    return SamplingEngine(
+        graph, model, ClusterSpec.ecs(2),
+        fanouts=tuple(config["fanouts"]),
+        batch_size=config["batch_size"], seed=config["seed"],
+    )
+
+
+class TestGoldenParity:
+    def test_loss_trajectory_bit_identical(self, golden):
+        engine = _build_engine(golden)
+        opt = optim.Adam(
+            engine.model.parameters(), lr=golden["config"]["lr"]
+        )
+        losses = [
+            engine.run_epoch(opt).loss
+            for _ in range(golden["config"]["epochs"])
+        ]
+        assert losses == golden["losses"]
+
+    def test_eval_accuracy_bit_identical(self, golden):
+        engine = _build_engine(golden)
+        opt = optim.Adam(
+            engine.model.parameters(), lr=golden["config"]["lr"]
+        )
+        for _ in range(golden["config"]["epochs"]):
+            engine.run_epoch(opt)
+        accuracy = engine.evaluate(engine.graph.test_mask)
+        assert accuracy == golden["eval_accuracy"]
+
+    def test_charged_times_within_band(self, golden):
+        engine = _build_engine(golden)
+        opt = optim.Adam(
+            engine.model.parameters(), lr=golden["config"]["lr"]
+        )
+        times = [
+            engine.run_epoch(opt).epoch_time_s
+            for _ in range(golden["config"]["epochs"])
+        ]
+        for ours, recorded in zip(times, golden["epoch_time_s"]):
+            assert TIME_BAND[0] * recorded <= ours <= TIME_BAND[1] * recorded
+
+    def test_charge_epoch_within_band(self, golden):
+        engine = _build_engine(golden)
+        for recorded in golden["charge_epoch_s"]:
+            ours = engine.charge_epoch()
+            assert TIME_BAND[0] * recorded <= ours <= TIME_BAND[1] * recorded

@@ -284,6 +284,69 @@ class TestServeBenchCli:
         )
 
 
+class TestSampleSweepCli:
+    def test_sweeps_grid_and_writes_json(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "sweep.json"
+        assert main([
+            "sample-sweep", "--dataset", "reddit", "--scale", "0.5",
+            "--nodes", "2", "--samplers", "uniform,labor",
+            "--fanouts", "3,5;2,4", "--kappas", "0,0.5",
+            "--batch-size", "32", "--epochs", "1", "--json", str(target),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "uniform" in out and "labor" in out
+        payload = json.loads(target.read_text())
+        # 2 samplers x 2 fanout groups x 2 kappas x 1 cache capacity.
+        assert len(payload["rows"]) == 8
+        for row in payload["rows"]:
+            assert row["epoch_s"] > 0
+            assert row["comm_bytes"] >= 0
+
+    def test_rejects_empty_fanouts(self):
+        with pytest.raises(SystemExit):
+            main(["sample-sweep", "--dataset", "reddit", "--scale", "0.5",
+                  "--fanouts", ";"])
+
+
+class TestExplainSampledCli:
+    def test_renders_sampled_rounds(self, capsys):
+        assert main([
+            "explain-plan", "--dataset", "reddit", "--scale", "0.5",
+            "--nodes", "2", "--engine", "sampled", "--sampler", "labor",
+            "--fanouts", "3,5", "--batch-size", "16", "--batches", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sampled program" in out
+        assert "sampler=labor" in out
+        assert "round 0" in out
+
+    def test_sampled_flag_with_default_engine(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "program.json"
+        assert main([
+            "explain-plan", "--dataset", "reddit", "--scale", "0.5",
+            "--nodes", "2", "--sampled", "--batch-size", "16",
+            "--fanouts", "3,5", "--json", str(target),
+        ]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["engine"] == "sampled"
+        assert payload["rounds"]
+
+
+class TestTrainSampledCli:
+    def test_trains_with_sampled_engine(self, capsys):
+        assert main([
+            "train", "--dataset", "reddit", "--scale", "0.5", "--nodes", "2",
+            "--engine", "sampled", "--sampler", "labor", "--fanouts", "3,5",
+            "--kappa", "0.5", "--batch-size", "16", "--epochs", "2",
+            "--eval-every", "2",
+        ]) == 0
+        assert "best accuracy" in capsys.readouterr().out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

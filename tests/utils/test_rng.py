@@ -5,8 +5,15 @@ from pathlib import Path
 
 import numpy as np
 
+import repro.engines.sampling
 import repro.resilience
-from repro.utils.rng import derive_rng, derive_seed_sequence, derive_uniform
+import repro.sampling
+from repro.utils.rng import (
+    derive_rng,
+    derive_seed_sequence,
+    derive_uniform,
+    hashed_uniforms,
+)
 
 
 class TestDerivation:
@@ -46,25 +53,63 @@ class TestDerivation:
         assert derive_uniform(seed, phase, src, dst, attempt) == legacy
 
 
-class TestNoDirectRngInResilience:
+class TestHashedUniforms:
+    def test_deterministic_and_in_unit_interval(self):
+        ids = np.arange(1000)
+        a = hashed_uniforms(7, "uniform", 2, ids=ids)
+        b = hashed_uniforms(7, "uniform", 2, ids=ids)
+        assert np.array_equal(a, b)
+        assert (a >= 0.0).all() and (a < 1.0).all()
+
+    def test_streams_are_independent(self):
+        ids = np.arange(100)
+        a = hashed_uniforms(7, "uniform", ids=ids)
+        b = hashed_uniforms(7, "labor", ids=ids)
+        assert not np.array_equal(a, b)
+
+    def test_pure_function_of_id(self):
+        """Each id's draw is independent of which other ids share the
+        call -- the property kappa's nested-reuse argument rests on."""
+        full = hashed_uniforms(3, "kappa", 1, ids=np.arange(50))
+        subset = hashed_uniforms(3, "kappa", 1, ids=np.arange(10, 20))
+        assert np.array_equal(full[10:20], subset)
+
+    def test_roughly_uniform(self):
+        draws = hashed_uniforms(0, "check", ids=np.arange(20000))
+        assert abs(draws.mean() - 0.5) < 0.01
+
+
+class TestNoDirectRngInScannedPackages:
+    SCANNED = [
+        ("resilience", Path(repro.resilience.__file__).parent),
+        ("sampling", Path(repro.sampling.__file__).parent),
+        ("engines/sampling.py", Path(repro.engines.sampling.__file__)),
+    ]
+
     def test_all_draws_route_through_derive_rng(self):
-        """Every random draw in the resilience layer must go through
-        ``repro.utils.rng`` so fault jitter stays replayable from a
-        single run seed; a direct ``default_rng``/``RandomState`` call
-        would fork an untracked stream."""
-        package_dir = Path(repro.resilience.__file__).parent
+        """Every random draw in the resilience layer and the sampling
+        subsystem must go through ``repro.utils.rng`` so fault jitter
+        and sampled closures stay replayable from a single run seed; a
+        direct ``default_rng``/``RandomState`` call would fork an
+        untracked stream."""
         direct = re.compile(
             r"np\.random\.(default_rng|RandomState|seed)\s*\("
         )
         offenders = []
-        for source in sorted(package_dir.glob("*.py")):
-            for lineno, line in enumerate(
-                source.read_text().splitlines(), start=1
-            ):
-                code = line.split("#", 1)[0]
-                if direct.search(code):
-                    offenders.append(f"{source.name}:{lineno}: {line.strip()}")
+        for label, target in self.SCANNED:
+            sources = (
+                sorted(target.glob("*.py")) if target.is_dir() else [target]
+            )
+            for source in sources:
+                for lineno, line in enumerate(
+                    source.read_text().splitlines(), start=1
+                ):
+                    code = line.split("#", 1)[0]
+                    if direct.search(code):
+                        offenders.append(
+                            f"{label}/{source.name}:{lineno}: {line.strip()}"
+                        )
         assert not offenders, (
-            "direct RNG construction in resilience (use derive_rng):\n"
+            "direct RNG construction in scanned packages (use derive_rng):\n"
             + "\n".join(offenders)
         )
