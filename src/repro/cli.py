@@ -515,6 +515,7 @@ def cmd_chaos(args) -> int:
                 engine_name, graph, model_factory, cluster, schedule,
                 epochs=args.epochs, retry=RetryPolicy(), policy=policy,
                 mode=args.mode,
+                **_sampling_kwargs(args, engine_name),
             )
         except OutOfMemoryError as err:
             rows.append([engine_name, "OOM", "-", "-", "-", "-", "-", err.label])
@@ -1053,6 +1054,148 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def _parse_replica_faults(args, nodes: int):
+    """Per-replica fault schedules from the ``repro fleet`` grammar."""
+    from repro.resilience import FaultSchedule, StragglerFault, WorkerCrashFault
+
+    per_replica: dict = {}
+    for spec in args.crash_replica or []:
+        parts = spec.split(":")
+        if len(parts) < 2:
+            raise SystemExit(
+                f"--crash-replica wants REPLICA:TIME[:TIMEOUT], got {spec!r}"
+            )
+        replica = int(parts[0])
+        at_time = float(parts[1])
+        timeout = float(parts[2]) if len(parts) > 2 else 0.05
+        # Every worker of the group goes dark: the whole replica dies.
+        per_replica.setdefault(replica, []).extend(
+            WorkerCrashFault(
+                worker=w, at_time=at_time,
+                detection_timeout_s=timeout, permanent=True,
+            )
+            for w in range(nodes)
+        )
+    for spec in args.straggle_replica or []:
+        parts = spec.split(":")
+        if len(parts) < 2:
+            raise SystemExit(
+                "--straggle-replica wants REPLICA:GPU_FACTOR[:START[:END]], "
+                f"got {spec!r}"
+            )
+        replica = int(parts[0])
+        per_replica.setdefault(replica, []).extend(
+            StragglerFault(
+                worker=w,
+                gpu_factor=float(parts[1]),
+                start=float(parts[2]) if len(parts) > 2 else 0.0,
+                end=float(parts[3]) if len(parts) > 3 else float("inf"),
+            )
+            for w in range(nodes)
+        )
+    return {
+        replica: FaultSchedule(faults, seed=args.fault_seed)
+        for replica, faults in sorted(per_replica.items())
+    }
+
+
+def cmd_fleet(args) -> int:
+    from repro.serving import (
+        AutoscalerConfig,
+        FleetConfig,
+        ServingConfig,
+        ServingFleet,
+        SLOConfig,
+        WorkloadConfig,
+        generate_workload,
+    )
+
+    graph, model, cluster, partitioning = _serving_setup(args)
+    workload = generate_workload(
+        WorkloadConfig(
+            num_requests=args.requests,
+            rate_rps=args.rate,
+            zipf_exponent=args.zipf,
+            seed=args.workload_seed,
+            bursts=_parse_bursts(args.burst),
+        ),
+        graph.num_vertices,
+    )
+    autoscaler = None
+    if args.autoscale_p99 is not None:
+        autoscaler = AutoscalerConfig(
+            target_p99_s=args.autoscale_p99,
+            min_replicas=args.min_replicas,
+            max_replicas=args.max_replicas,
+            burn_windows=args.burn_windows,
+            idle_windows=args.idle_windows,
+        )
+    config = FleetConfig(
+        replicas=args.replicas,
+        serving=ServingConfig(
+            batch_window_s=args.batch_window,
+            max_batch=args.max_batch,
+            tau_s=args.tau_s,
+            mode=args.serve_mode,
+            slo=SLOConfig(max_pending=args.max_pending),
+        ),
+        seed=args.fleet_seed,
+        health_every=args.health_every,
+        pin_after=args.pin_after,
+        hedge_factor=args.hedge_factor,
+        self_heal=not args.no_self_heal,
+        autoscaler=autoscaler,
+    )
+    fleet = ServingFleet(
+        graph, model, cluster, partitioning, config=config,
+        replica_faults=_parse_replica_faults(args, args.nodes),
+    )
+    result = fleet.serve(workload)
+    ledger = result.ledger
+    summary = result.summary()
+    rows = [[
+        str(len(ledger)),
+        str(len(ledger.served())),
+        str(ledger.shed_count),
+        f"{ledger.p50_s * 1e3:.2f}",
+        f"{ledger.p99_s * 1e3:.2f}",
+        f"{ledger.throughput_rps():.0f}",
+        f"{summary['num_replicas_started']}"
+        f"→{summary['num_replicas_final']}",
+        f"{result.hedges_launched}/{result.hedges_won}",
+        str(result.failovers),
+        str(len(result.scaling_events)),
+    ]]
+    print(render_table(
+        ["requests", "served", "shed", "p50 ms", "p99 ms", "rps",
+         "replicas", "hedges l/w", "failovers", "scalings"],
+        rows,
+    ))
+    for event in result.health_events:
+        print(f"health: {event['event']} replica {event['replica']} "
+              f"at {event['at_s'] * 1e3:.2f} ms (segment {event['segment']})")
+    for event in result.scaling_events:
+        print(f"scaling: {event.action} replica {event.replica} "
+              f"at {event.at_s * 1e3:.2f} ms ({event.reason}, "
+              f"{event.migrated_bytes / 1e3:.1f} KB migrated)")
+    if args.trace:
+        from repro.cluster.trace import save_chrome_trace
+
+        path = save_chrome_trace(fleet.groups[0].timeline, args.trace)
+        print(f"chrome trace of replica 0 written to {path}")
+    if args.json:
+        write_json(args.json, {
+            "dataset": args.dataset,
+            "partitioner": args.partitioner,
+            "replicas": args.replicas,
+            "health_every": args.health_every,
+            "self_heal": not args.no_self_heal,
+            "summary": jsonable(summary),
+            "ledger": jsonable(ledger.to_dict()),
+        })
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1191,7 +1334,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_args(chaos)
     _add_cluster_args(chaos)
     chaos.add_argument("--engine", default="all",
-                       choices=["all", "depcache", "depcomm", "hybrid"])
+                       choices=["all", "depcache", "depcomm", "hybrid",
+                                "distdgl", "sampled"])
+    _add_sampling_args(chaos)
     chaos.add_argument("--epochs", type=int, default=5)
     chaos.add_argument("--mode", choices=["timing", "train"],
                        default="timing")
@@ -1368,6 +1513,74 @@ def build_parser() -> argparse.ArgumentParser:
                              help="write the benchmark result to this JSON "
                                   "file")
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="replicated serving fleet: health-checked routing, failover, "
+             "hedging, autoscaling",
+    )
+    _add_model_args(fleet)
+    _add_cluster_args(fleet)
+    fleet.add_argument("--partitioner", default="chunk",
+                       choices=["chunk", "hash", "fennel", "metis"])
+    fleet.add_argument("--checkpoint", default=None,
+                       help="load model weights from this .npz before serving")
+    fleet.add_argument("--train-epochs", type=int, default=0,
+                       help="quick-train this many epochs before serving "
+                            "(ignored with --checkpoint)")
+    fleet.add_argument("--requests", type=int, default=200,
+                       help="number of requests to generate (default 200)")
+    fleet.add_argument("--rate", type=float, default=2000.0,
+                       help="mean arrival rate in requests/s (default 2000)")
+    fleet.add_argument("--zipf", type=float, default=1.0,
+                       help="Zipf popularity exponent; 0 = uniform")
+    fleet.add_argument("--workload-seed", type=int, default=0)
+    fleet.add_argument("--burst", action="append", metavar="SPEC",
+                       help="START:END[:MULTIPLIER] arrival-rate burst window")
+    fleet.add_argument("--batch-window", type=float, default=0.002,
+                       help="micro-batch window in seconds (default 2 ms)")
+    fleet.add_argument("--max-batch", type=int, default=32)
+    fleet.add_argument("--tau-s", type=float, default=0.0,
+                       help="staleness bound for served embeddings in "
+                            "seconds (0 = always recompute)")
+    fleet.add_argument("--serve-mode", default="auto",
+                       choices=["auto", "local", "remote"])
+    fleet.add_argument("--max-pending", type=int, default=None,
+                       help="shed requests arriving over this backlog")
+    fleet.add_argument("--replicas", type=int, default=2,
+                       help="serving groups behind the router (default 2)")
+    fleet.add_argument("--fleet-seed", type=int, default=0,
+                       help="seed for routing + hedge-jitter streams")
+    fleet.add_argument("--health-every", type=int, default=32,
+                       help="requests per health-check segment (default 32)")
+    fleet.add_argument("--pin-after", type=int, default=3,
+                       help="popularity pin threshold (default 3)")
+    fleet.add_argument("--hedge-factor", type=float, default=3.0,
+                       help="suspect threshold: segment mean over this "
+                            "multiple of the baseline p99 (default 3)")
+    fleet.add_argument("--no-self-heal", action="store_true",
+                       help="disable automatic failover/hedging/autoscaling "
+                            "(the ops-harness mode)")
+    fleet.add_argument("--crash-replica", action="append", metavar="SPEC",
+                       help="REPLICA:TIME[:TIMEOUT] -- every worker of the "
+                            "replica goes dark at TIME")
+    fleet.add_argument("--straggle-replica", action="append", metavar="SPEC",
+                       help="REPLICA:GPU_FACTOR[:START[:END]] -- slow every "
+                            "worker of the replica")
+    fleet.add_argument("--fault-seed", type=int, default=0)
+    fleet.add_argument("--autoscale-p99", type=float, default=None,
+                       help="target p99 seconds; enables the SLO autoscaler")
+    fleet.add_argument("--min-replicas", type=int, default=1)
+    fleet.add_argument("--max-replicas", type=int, default=4)
+    fleet.add_argument("--burn-windows", type=int, default=2,
+                       help="consecutive burning segments before scale-out")
+    fleet.add_argument("--idle-windows", type=int, default=4,
+                       help="consecutive idle segments before scale-in")
+    fleet.add_argument("--trace", default=None,
+                       help="write a chrome trace of replica 0's timeline")
+    fleet.add_argument("--json", default=None,
+                       help="write summary + per-request ledger to this "
+                            "JSON file")
+
     return parser
 
 
@@ -1383,6 +1596,7 @@ _COMMANDS = {
     "replan-sweep": cmd_replan_sweep,
     "serve": cmd_serve,
     "serve-bench": cmd_serve_bench,
+    "fleet": cmd_fleet,
     "explain-plan": cmd_explain_plan,
     "sample-sweep": cmd_sample_sweep,
 }

@@ -25,7 +25,9 @@ from repro.ops.harness import OpsRunResult, derive_sub_seed, run_problem
 from repro.ops.mitigations import (
     MitigationRecord,
     mitigate_cache_refresh,
+    mitigate_failover,
     mitigate_replan,
+    mitigate_scale_out,
     mitigate_shed,
     mitigate_shrink,
 )
@@ -41,8 +43,10 @@ from repro.ops.replay import ReplayReport, replay_bundle
 from repro.ops.signals import (
     CrashObservation,
     EpochObservation,
+    FleetWindowObservation,
     TimelineObserver,
     WindowObservation,
+    fleet_window_observations_from_records,
     observation_from_dict,
     window_observations_from_records,
 )
@@ -55,6 +59,7 @@ __all__ = [
     "DetectionGrade",
     "DetectionPipeline",
     "EpochObservation",
+    "FleetWindowObservation",
     "GroundTruth",
     "MitigationGrade",
     "MitigationRecord",
@@ -67,6 +72,7 @@ __all__ = [
     "WindowObservation",
     "bundle_from_result",
     "derive_sub_seed",
+    "fleet_window_observations_from_records",
     "get_problem",
     "grade_detection",
     "grade_mitigation",
@@ -75,7 +81,9 @@ __all__ = [
     "list_problems",
     "load_bundle",
     "mitigate_cache_refresh",
+    "mitigate_failover",
     "mitigate_replan",
+    "mitigate_scale_out",
     "mitigate_shed",
     "mitigate_shrink",
     "observation_from_dict",

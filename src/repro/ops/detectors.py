@@ -20,6 +20,13 @@ detect and localize.  Checks are ordered by evidence specificity:
 5. **slo-burn** (serving windows) -- the window p95 exceeds a multiple
    of the baseline windows' p95; blame the worker whose mean latency
    stands out if one does.
+6. **replica-crash** (fleet windows) -- a replica that served traffic
+   during the baseline windows suddenly serves nothing while requests
+   routed to it shed; blame that replica.
+7. **hotspot-burn** (fleet windows) -- the fleet p95 burns past the
+   baseline while one vertex dominates the window (``hot_share`` above
+   ``hot_threshold``); blame the replica whose mean latency stands out
+   against the replica median.
 
 All thresholds live in :meth:`DetectionPipeline.params`, so a recorded
 bundle can rebuild an identical pipeline and the replayer can re-derive
@@ -36,6 +43,7 @@ import numpy as np
 from repro.ops.signals import (
     CrashObservation,
     EpochObservation,
+    FleetWindowObservation,
     WindowObservation,
 )
 
@@ -97,6 +105,7 @@ class DetectionPipeline:
         refresh_threshold: float = 0.5,
         burn_factor: float = 1.5,
         worker_ratio: float = 1.8,
+        hot_threshold: float = 0.2,
     ):
         self.warmup_epochs = int(warmup_epochs)
         self.baseline_windows = int(baseline_windows)
@@ -106,7 +115,10 @@ class DetectionPipeline:
         self.refresh_threshold = float(refresh_threshold)
         self.burn_factor = float(burn_factor)
         self.worker_ratio = float(worker_ratio)
+        self.hot_threshold = float(hot_threshold)
         self._window_p95s: List[float] = []
+        self._fleet_p95s: List[float] = []
+        self._fleet_serving: set = set()
 
     def params(self) -> Dict[str, float]:
         """Constructor kwargs for an identical pipeline (bundled)."""
@@ -119,6 +131,7 @@ class DetectionPipeline:
             "refresh_threshold": self.refresh_threshold,
             "burn_factor": self.burn_factor,
             "worker_ratio": self.worker_ratio,
+            "hot_threshold": self.hot_threshold,
         }
 
     # ------------------------------------------------------------------
@@ -134,6 +147,8 @@ class DetectionPipeline:
             )
         if isinstance(obs, EpochObservation):
             return self._observe_epoch(obs)
+        if isinstance(obs, FleetWindowObservation):
+            return self._observe_fleet_window(obs)
         if isinstance(obs, WindowObservation):
             return self._observe_window(obs)
         raise TypeError(f"unknown observation {obs!r}")
@@ -236,6 +251,70 @@ class DetectionPipeline:
                 "baseline_p95_s": baseline,
                 "burn": obs.p95_s / baseline,
                 "worker_ratio": ratio,
+            },
+        )
+
+
+    # -- fleet windows ---------------------------------------------------
+    def _observe_fleet_window(
+        self, obs: FleetWindowObservation
+    ) -> Optional[Verdict]:
+        if len(self._fleet_p95s) < self.baseline_windows:
+            self._fleet_p95s.append(obs.p95_s)
+            self._fleet_serving.update(
+                r for r, n in obs.replica_served.items() if n > 0
+            )
+            return None
+
+        # Replica crash: a baseline-serving replica now serves nothing
+        # while requests routed to it shed.  The shed counter is the
+        # discriminator -- a replica merely drained by the router sheds
+        # nothing.
+        for replica in sorted(self._fleet_serving):
+            if (
+                obs.replica_served.get(replica, 0) == 0
+                and obs.replica_shed.get(replica, 0) > 0
+            ):
+                return Verdict(
+                    kind="replica-crash",
+                    detected_at_s=obs.t_end,
+                    unit=obs.window,
+                    worker=replica,
+                    evidence={
+                        "replica_shed": float(obs.replica_shed[replica]),
+                        "shed_fraction": float(obs.shed_fraction),
+                    },
+                )
+
+        # Hotspot burn: the fleet p95 burns past baseline while one
+        # vertex dominates the offered window.
+        baseline = float(np.mean(self._fleet_p95s))
+        if baseline <= 0 or obs.p95_s < self.burn_factor * baseline:
+            return None
+        if obs.hot_share < self.hot_threshold:
+            return None
+        worker: Optional[int] = None
+        ratio = 0.0
+        means = obs.replica_mean_s
+        positive = [m for m in means.values() if m > 0]
+        if positive:
+            med = float(np.median(positive))
+            if med > 0:
+                cand = max(means, key=lambda r: means[r])
+                ratio = float(means[cand] / med)
+                if ratio >= self.worker_ratio:
+                    worker = int(cand)
+        return Verdict(
+            kind="hotspot-burn",
+            detected_at_s=obs.t_end,
+            unit=obs.window,
+            worker=worker,
+            evidence={
+                "p95_s": obs.p95_s,
+                "baseline_p95_s": baseline,
+                "burn": obs.p95_s / baseline,
+                "hot_share": float(obs.hot_share),
+                "replica_ratio": ratio,
             },
         )
 

@@ -37,7 +37,11 @@ import numpy as np
 
 from repro.ops.detectors import Verdict
 from repro.ops.problem import GroundTruth
-from repro.ops.signals import EpochObservation, WindowObservation
+from repro.ops.signals import (
+    EpochObservation,
+    FleetWindowObservation,
+    WindowObservation,
+)
 
 _DETECTION_WEIGHTS = (0.4, 0.4, 0.2)  # kind, blame, ttd
 _MITIGATION_WEIGHTS = (0.6, 0.4)  # recovery, regression
@@ -161,11 +165,13 @@ def _recovery_value(obs, criterion: str) -> float:
         return obs.refresh_fraction
     if criterion == "p95":
         return obs.p95_s
+    if criterion == "shed":
+        return obs.shed_fraction
     return obs.duration
 
 
 def _regression_value(obs, criterion: str) -> float:
-    if criterion == "p95":
+    if criterion in ("p95", "shed"):
         return obs.p95_s
     return obs.duration
 
@@ -188,10 +194,12 @@ def grade_mitigation(
 
     ``criterion`` selects the recovery metric: ``"duration"`` (epoch
     seconds vs ``recovered_factor * baseline_duration``), ``"refresh"``
-    (cache refresh fraction vs the absolute ``refresh_threshold``), or
-    ``"p95"`` (window p95 vs ``recovered_factor * baseline_p95``).
-    Regression is always measured on durations (training) or p95
-    (serving) against the corresponding baseline.
+    (cache refresh fraction vs the absolute ``refresh_threshold``),
+    ``"p95"`` (window p95 vs ``recovered_factor * baseline_p95``), or
+    ``"shed"`` (fleet window shed fraction vs the absolute
+    ``refresh_threshold`` slot).  Regression is always measured on
+    durations (training) or p95 (serving/fleet) against the
+    corresponding baseline.
     """
     no_grade = MitigationGrade(
         applied=applied, recovered=False, recovery_s=math.inf,
@@ -201,20 +209,23 @@ def grade_mitigation(
     if verdict is None or aborted:
         return no_grade
 
-    if criterion == "refresh":
+    if criterion in ("refresh", "shed"):
         recovery_threshold = refresh_threshold
     elif criterion == "p95":
         recovery_threshold = recovered_factor * float(baseline_p95 or 0.0)
     else:
         recovery_threshold = recovered_factor * baseline_duration
     regression_baseline = (
-        float(baseline_p95 or 0.0) if criterion == "p95" else baseline_duration
+        float(baseline_p95 or 0.0)
+        if criterion in ("p95", "shed") else baseline_duration
     )
 
     # Units after the detecting one, in stream order.
     post: List = [
         o for o in observations
-        if isinstance(o, (EpochObservation, WindowObservation))
+        if isinstance(
+            o, (EpochObservation, WindowObservation, FleetWindowObservation)
+        )
         and _unit_of(o) > verdict.unit
     ]
     recovery_s = math.inf

@@ -37,13 +37,16 @@ from repro.ops.evaluators import ProblemGrade, grade_run
 from repro.ops.mitigations import (
     MitigationRecord,
     mitigate_cache_refresh,
+    mitigate_failover,
     mitigate_replan,
+    mitigate_scale_out,
     mitigate_shed,
     mitigate_shrink,
 )
 from repro.ops.problem import GroundTruth, OpsProblem
 from repro.ops.signals import (
     TimelineObserver,
+    fleet_window_observations_from_records,
     window_observations_from_records,
 )
 from repro.partition import get_partitioner
@@ -132,6 +135,8 @@ def run_problem(
     """Run one registered problem; see the module docstring."""
     if problem.workload == "serving":
         return _run_serving(problem, seed, mitigate)
+    if problem.workload == "fleet":
+        return _run_fleet(problem, seed, mitigate)
     return _run_training(problem, seed, mitigate)
 
 
@@ -439,6 +444,189 @@ def _run_serving(
         verdict=verdict, mitigation=mitigation, aborted=False,
         grading=grading, grade=grade,
         timeline=timeline, clean_unit_s=window_s,
+        ledger_records=records,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fleet problems (replicated serving groups).
+def _fleet_workload(problem: OpsProblem, seed: int):
+    """Workload plus the injection time, both pure in ``(problem, seed)``.
+
+    For hotspot-burn the stream is generated twice: a burst-free pass
+    locates the injection request's arrival, then the final pass adds a
+    :class:`BurstPhase` starting exactly there.  The pre-burst prefix is
+    identical between passes (the arrival process draws sequentially at
+    the same rates until the burst opens), so the injection time read
+    off pass one is exact for pass two.
+    """
+    from repro.serving import BurstPhase, WorkloadConfig, generate_workload
+
+    base = WorkloadConfig(
+        num_requests=problem.requests,
+        rate_rps=problem.rate_rps,
+        zipf_exponent=problem.zipf,
+        seed=derive_sub_seed(seed, "workload"),
+    )
+    workload = generate_workload(base, problem.graph_vertices)
+    inject_t = workload[problem.inject_request].arrival_s
+    if problem.kind == "hotspot-burn":
+        burst = BurstPhase(
+            start_s=inject_t,
+            end_s=inject_t + problem.requests / problem.rate_rps,
+            rate_multiplier=problem.burst_multiplier,
+        )
+        workload = generate_workload(
+            WorkloadConfig(
+                num_requests=base.num_requests,
+                rate_rps=base.rate_rps,
+                zipf_exponent=base.zipf_exponent,
+                seed=base.seed,
+                bursts=(burst,),
+            ),
+            problem.graph_vertices,
+        )
+    return workload, inject_t
+
+
+def _fleet_truth(
+    problem: OpsProblem, workload, inject_t: float, fleet_seed: int
+) -> GroundTruth:
+    """Ground truth for a fleet problem (pure; detectors never see it)."""
+    if problem.kind == "replica-crash":
+        return GroundTruth(
+            kind="replica-crash", start_s=inject_t,
+            worker=problem.fault_replica,
+        )
+    # Hotspot-burn: the blamed replica is wherever the router's
+    # rendezvous hash (and therefore the popularity pin) lands the
+    # globally hottest vertex.
+    from repro.serving import PopularityRouter
+
+    counts: Dict[int, int] = {}
+    for r in workload:
+        counts[r.vertex] = counts.get(r.vertex, 0) + 1
+    hot_vertex = min(counts, key=lambda v: (-counts[v], v))
+    router = PopularityRouter(seed=fleet_seed)
+    blamed = router.rendezvous(hot_vertex, list(range(problem.replicas)))
+    return GroundTruth(
+        kind="hotspot-burn", start_s=inject_t, worker=blamed,
+    )
+
+
+def _run_fleet(
+    problem: OpsProblem, seed: int, mitigate: bool
+) -> OpsRunResult:
+    from repro.resilience.faults import WorkerCrashFault as _Crash
+    from repro.serving import FleetConfig, ServingConfig, ServingFleet
+
+    graph = _build_graph(problem, seed)
+    model = _build_model(problem, graph, seed)
+    cluster = ClusterSpec.ecs(problem.nodes)
+    partitioning = get_partitioner("chunk")(graph, problem.nodes)
+    workload, inject_t = _fleet_workload(problem, seed)
+    window_s = problem.window_requests / problem.rate_rps
+
+    replica_faults = None
+    if problem.kind == "replica-crash":
+        # Every worker of the blamed replica's serving group goes dark
+        # at the injection time: the group sheds everything after it.
+        replica_faults = {
+            problem.fault_replica: FaultSchedule(
+                [
+                    _Crash(
+                        worker=w, at_time=inject_t,
+                        detection_timeout_s=window_s, permanent=True,
+                    )
+                    for w in range(problem.nodes)
+                ],
+                seed=derive_sub_seed(seed, "faults"),
+            )
+        }
+
+    fleet_seed = derive_sub_seed(seed, "fleet")
+    config = FleetConfig(
+        replicas=problem.replicas,
+        serving=ServingConfig(
+            batch_window_s=problem.batch_window_s,
+            max_batch=problem.max_batch,
+            tau_s=0.0,
+            mode="local",
+        ),
+        seed=fleet_seed,
+        health_every=problem.window_requests,
+        baseline_segments=problem.baseline_epochs,
+        self_heal=False,  # the graded pipeline + mitigation respond
+    )
+    fleet = ServingFleet(
+        graph, model, cluster, partitioning,
+        config=config, replica_faults=replica_faults,
+    )
+
+    pipeline = _pipeline_for(problem)
+    truth = _fleet_truth(problem, workload, inject_t, fleet_seed)
+    observations: List[object] = []
+    verdict: Optional[Verdict] = None
+    mitigation: Optional[MitigationRecord] = None
+    width = problem.window_requests
+    num_windows = len(workload) // width
+    for wi in range(num_windows):
+        fleet.serve(workload[wi * width:(wi + 1) * width])
+        window_records = [
+            r for r in fleet.final_records()
+            if wi * width <= r.req_id < (wi + 1) * width
+        ]
+        window_obs = [
+            o for o in fleet_window_observations_from_records(
+                window_records, width
+            )
+            if o.window == wi
+        ]
+        if not window_obs:
+            continue
+        obs = window_obs[0]
+        observations.append(obs)
+        if verdict is None:
+            verdict = pipeline.observe(obs)
+            if verdict is not None and mitigate:
+                if problem.mitigation == "failover":
+                    mitigation = mitigate_failover(fleet, verdict)
+                elif problem.mitigation == "scale-out":
+                    mitigation = mitigate_scale_out(fleet, verdict)
+                else:
+                    raise ValueError(
+                        f"mitigation {problem.mitigation!r} needs a "
+                        "fleet workload"
+                    )
+
+    baseline_p95s = [
+        o.p95_s for o in observations if o.window < problem.baseline_epochs
+    ]
+    grading: Dict[str, object] = {
+        "criterion": "shed" if problem.kind == "replica-crash" else "p95",
+        "baseline_duration": window_s,
+        "baseline_p95": float(np.mean(baseline_p95s))
+        if baseline_p95s else None,
+        "recovered_factor": problem.recovered_factor,
+        "ttd_budget_s": problem.ttd_budget_epochs * window_s,
+        "recovery_budget_s": problem.recovery_budget_epochs * window_s,
+        "regression_allowance": problem.regression_allowance,
+        "refresh_threshold": problem.refresh_recovery_threshold,
+    }
+    grade = grade_run(
+        observations, verdict, truth,
+        applied=mitigation is not None,
+        grading=grading, aborted=False,
+    )
+    records = [asdict(r) for r in fleet.final_records()]
+    return OpsRunResult(
+        problem=problem, seed=seed, mitigate=mitigate,
+        ground_truth=truth,
+        pipeline_params=pipeline.params(),
+        observations=observations,
+        verdict=verdict, mitigation=mitigation, aborted=False,
+        grading=grading, grade=grade,
+        timeline=fleet.groups[0].timeline, clean_unit_s=window_s,
         ledger_records=records,
     )
 

@@ -18,6 +18,12 @@ resilience/serving layers already expose to operators:
   staleness bound so refresh traffic stops.
 - **shed** -- enable admission control on the live server
   (``slo.max_pending``), trading offered load for latency.
+- **failover** -- quarantine the blamed replica on a live
+  :class:`~repro.serving.fleet.ServingFleet`; the router stops sending
+  it traffic and re-serves its unanswered requests on survivors.
+- **scale-out** -- ask the fleet for one more replica at the verdict
+  time, paying the spin-up migration through the autoscaler's
+  transition charge.
 
 Every application returns a :class:`MitigationRecord` so bundles can
 replay the decision offline.
@@ -171,10 +177,46 @@ def mitigate_shed(
     )
 
 
+def mitigate_failover(fleet, verdict: Verdict) -> MitigationRecord:
+    """Quarantine the blamed replica; survivors absorb its traffic."""
+    if verdict.worker is None:
+        raise ValueError("failover mitigation needs a blamed replica")
+    fleet.quarantine(verdict.worker)
+    return MitigationRecord(
+        name="failover",
+        applied_at_s=verdict.detected_at_s,
+        unit=verdict.unit,
+        detail={"quarantined_replica": verdict.worker},
+    )
+
+
+def mitigate_scale_out(fleet, verdict: Verdict) -> MitigationRecord:
+    """Add one replica, charging its spin-up at the verdict time."""
+    event = fleet.scale_out(
+        at_s=verdict.detected_at_s,
+        reason="ops:hotspot-burn",
+    )
+    detail: Dict[str, object] = {"scaled": event is not None}
+    if event is not None:
+        detail.update({
+            "new_replica": event.replica,
+            "transition_s": event.transition_s,
+            "migrated_bytes": event.migrated_bytes,
+        })
+    return MitigationRecord(
+        name="scale-out",
+        applied_at_s=verdict.detected_at_s,
+        unit=verdict.unit,
+        detail=detail,
+    )
+
+
 __all__ = [
     "MitigationRecord",
     "mitigate_shrink",
     "mitigate_replan",
     "mitigate_cache_refresh",
     "mitigate_shed",
+    "mitigate_failover",
+    "mitigate_scale_out",
 ]

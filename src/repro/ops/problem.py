@@ -18,11 +18,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-#: Problem kinds the registry covers (ISSUE 6's required scenarios).
-KINDS = ("straggler", "link", "crash", "cache-thrash", "slo-burn")
+#: Problem kinds the registry covers (ISSUE 6's required scenarios
+#: plus ISSUE 8's fleet-serving failures).
+KINDS = (
+    "straggler", "link", "crash", "cache-thrash", "slo-burn",
+    "replica-crash", "hotspot-burn",
+)
 
 #: Mitigation policy names understood by :mod:`repro.ops.mitigations`.
-MITIGATIONS = ("shrink", "replan", "cache-refresh", "shed")
+MITIGATIONS = (
+    "shrink", "replan", "cache-refresh", "shed", "failover", "scale-out",
+)
 
 
 @dataclass(frozen=True)
@@ -76,7 +82,7 @@ class OpsProblem:
     name: str
     kind: str
     description: str
-    workload: str = "training"  # "training" | "serving"
+    workload: str = "training"  # "training" | "serving" | "fleet"
     mitigation: str = "shrink"
 
     # -- workload: synthetic graph / model / cluster -------------------
@@ -110,6 +116,11 @@ class OpsProblem:
     inject_request: int = 120  # fault starts at this request's arrival
     shed_max_pending: int = 8
 
+    # -- fleet workload (replicated serving groups) --------------------
+    replicas: int = 2
+    fault_replica: int = 1
+    burst_multiplier: float = 6.0
+
     # -- detection thresholds (pipeline parameters) --------------------
     detector_params: Dict[str, float] = field(default_factory=dict)
 
@@ -125,8 +136,13 @@ class OpsProblem:
     def __post_init__(self):
         if self.kind not in KINDS:
             raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
-        if self.workload not in ("training", "serving"):
+        if self.workload not in ("training", "serving", "fleet"):
             raise ValueError(f"unknown workload {self.workload!r}")
+        if self.workload == "fleet":
+            if self.replicas < 1:
+                raise ValueError("fleet workload needs replicas >= 1")
+            if not 0 <= self.fault_replica < self.replicas:
+                raise ValueError("fault_replica must index a replica")
         if self.mitigation not in MITIGATIONS:
             raise ValueError(
                 f"mitigation must be one of {MITIGATIONS}, "

@@ -159,5 +159,75 @@ register(OpsProblem(
     detector_params={"worker_ratio": 1.5, "burn_factor": 1.4},
 ))
 
+register(OpsProblem(
+    name="serve-replica-crash",
+    kind="replica-crash",
+    description=(
+        "Every worker of serving replica 1 goes dark mid-stream; the "
+        "group sheds everything routed to it.  Detect the served-to-"
+        "shed flip from per-replica window stats, blame the replica, "
+        "and fail its traffic over to the survivors."
+    ),
+    workload="fleet",
+    mitigation="failover",
+    nodes=4,
+    hidden_dim=32,
+    replicas=3,
+    fault_replica=1,
+    requests=320,
+    rate_rps=6000.0,
+    zipf=0.8,
+    window_requests=40,
+    batch_window_s=0.002,
+    max_batch=32,
+    inject_request=160,
+    # Units are fleet windows: baseline over the first 3, detect the
+    # flip within 2, and recover (shed fraction back under the
+    # threshold) within 4.
+    baseline_epochs=3,
+    ttd_budget_epochs=2.0,
+    recovered_factor=1.8,
+    recovery_budget_epochs=4.0,
+    regression_allowance=1.0,
+    refresh_recovery_threshold=0.05,
+))
+
+register(OpsProblem(
+    name="serve-hotspot-burn",
+    kind="hotspot-burn",
+    description=(
+        "A Zipf-hot head pinned to one replica meets a 6x arrival "
+        "burst; that replica's queues burn the fleet p95.  Detect the "
+        "burn plus popularity skew, blame the hot replica, and scale "
+        "out so the router spreads the hot head."
+    ),
+    workload="fleet",
+    mitigation="scale-out",
+    nodes=4,
+    hidden_dim=32,
+    replicas=2,
+    requests=320,
+    rate_rps=8000.0,
+    zipf=2.0,
+    burst_multiplier=6.0,
+    window_requests=40,
+    # Unbatched deployment: each request pays its closure recompute
+    # serially, so the burst genuinely queues on the hot replica
+    # (micro-batch dedup would absorb the repeats for free).
+    batch_window_s=0.0,
+    max_batch=1,
+    inject_request=160,
+    baseline_epochs=3,
+    ttd_budget_epochs=2.0,
+    recovered_factor=1.8,
+    recovery_budget_epochs=4.0,
+    regression_allowance=1.0,
+    # Two replicas bound the blamed-vs-median mean ratio below 2, so
+    # the localizer gate sits well under the serving default.
+    detector_params={
+        "burn_factor": 1.4, "worker_ratio": 1.2, "hot_threshold": 0.2,
+    },
+))
+
 
 __all__ = ["register", "get_problem", "list_problems"]

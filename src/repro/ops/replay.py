@@ -28,6 +28,7 @@ from repro.ops.detectors import DetectionPipeline, Verdict
 from repro.ops.evaluators import ProblemGrade, grade_run
 from repro.ops.problem import GroundTruth
 from repro.ops.signals import (
+    fleet_window_observations_from_records,
     observation_from_dict,
     window_observations_from_records,
 )
@@ -82,10 +83,20 @@ def replay_bundle(bundle: Dict[str, object]) -> ReplayReport:
         mismatches.append("observation round-trip diverged")
     ledger = list(bundle.get("ledger") or [])
     if ledger:
-        derived = window_observations_from_records(
-            ledger, int(spec["window_requests"]), int(spec["nodes"])
-        )
-        stored_windows = [p for p in stored_obs if p.get("type") == "window"]
+        if spec.get("workload") == "fleet":
+            derived = fleet_window_observations_from_records(
+                ledger, int(spec["window_requests"])
+            )
+            stored_windows = [
+                p for p in stored_obs if p.get("type") == "fleet-window"
+            ]
+        else:
+            derived = window_observations_from_records(
+                ledger, int(spec["window_requests"]), int(spec["nodes"])
+            )
+            stored_windows = [
+                p for p in stored_obs if p.get("type") == "window"
+            ]
         if [w.to_dict() for w in derived] != stored_windows:
             observations_match = False
             mismatches.append("ledger-derived windows diverged")

@@ -11,7 +11,14 @@ actually see).  Everything in this module is on the observation side:
 - :class:`CrashObservation` -- a :class:`WorkerCrashError` surfacing at
   a barrier (the failure detector's own signal, not the schedule);
 - :class:`WindowObservation` -- one serving window's latency statistics
-  derived from the :class:`~repro.serving.slo.LatencyLedger`.
+  derived from the :class:`~repro.serving.slo.LatencyLedger`;
+- :class:`FleetWindowObservation` -- one fleet-serving window's
+  statistics, including the per-replica served/shed/latency breakdown
+  and the popularity concentration (``hot_share``) an operator can read
+  off the merged fleet ledger.  Per-replica maps only name replicas
+  that appear in the window's records, so the observation stays a pure
+  function of the window slice alone (replicas added by a later
+  scale-out cannot retroactively change earlier windows on replay).
 
 Every observation round-trips through ``to_dict``/``from_dict`` with
 floats preserved exactly (JSON serialises them via ``repr``), which is
@@ -146,6 +153,63 @@ class WindowObservation:
         }
 
 
+@dataclass(frozen=True)
+class FleetWindowObservation:
+    """Latency + replica breakdown of one fleet-serving window."""
+
+    window: int
+    t_start: float
+    t_end: float
+    offered: int
+    served: int
+    shed: int
+    p50_s: float
+    p95_s: float
+    mean_s: float
+    hot_vertex: int
+    hot_share: float
+    hedged: int = 0
+    failover: int = 0
+    replica_served: Dict[int, int] = field(default_factory=dict)
+    replica_shed: Dict[int, int] = field(default_factory=dict)
+    replica_mean_s: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def shed_fraction(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "type": "fleet-window",
+            "window": self.window,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "offered": self.offered,
+            "served": self.served,
+            "shed": self.shed,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "mean_s": self.mean_s,
+            "hot_vertex": self.hot_vertex,
+            "hot_share": self.hot_share,
+            "hedged": self.hedged,
+            "failover": self.failover,
+            "replica_served": {
+                str(k): v for k, v in self.replica_served.items()
+            },
+            "replica_shed": {
+                str(k): v for k, v in self.replica_shed.items()
+            },
+            "replica_mean_s": {
+                str(k): v for k, v in self.replica_mean_s.items()
+            },
+        }
+
+
 def observation_from_dict(payload: Dict[str, object]):
     """Inverse of ``to_dict`` for any observation type."""
     kind = payload.get("type")
@@ -191,6 +255,34 @@ def observation_from_dict(payload: Dict[str, object]):
             worker_served={
                 int(k): int(v)
                 for k, v in dict(payload["worker_served"]).items()
+            },
+        )
+    if kind == "fleet-window":
+        return FleetWindowObservation(
+            window=int(payload["window"]),
+            t_start=float(payload["t_start"]),
+            t_end=float(payload["t_end"]),
+            offered=int(payload["offered"]),
+            served=int(payload["served"]),
+            shed=int(payload["shed"]),
+            p50_s=float(payload["p50_s"]),
+            p95_s=float(payload["p95_s"]),
+            mean_s=float(payload["mean_s"]),
+            hot_vertex=int(payload["hot_vertex"]),
+            hot_share=float(payload["hot_share"]),
+            hedged=int(payload["hedged"]),
+            failover=int(payload["failover"]),
+            replica_served={
+                int(k): int(v)
+                for k, v in dict(payload["replica_served"]).items()
+            },
+            replica_shed={
+                int(k): int(v)
+                for k, v in dict(payload["replica_shed"]).items()
+            },
+            replica_mean_s={
+                int(k): float(v)
+                for k, v in dict(payload["replica_mean_s"]).items()
             },
         )
     raise ValueError(f"unknown observation type {kind!r}")
@@ -318,11 +410,95 @@ def window_observations_from_records(
     return out
 
 
+def fleet_window_observations_from_records(
+    records: Sequence, window_requests: int
+) -> List[FleetWindowObservation]:
+    """Slice a merged fleet ledger into req_id windows and summarise.
+
+    Pure over the record rows alone (live ``RequestRecord`` objects or
+    bundle dicts), mirroring :func:`window_observations_from_records`:
+    rows sort by ``req_id`` before any order-sensitive float is
+    computed, and every statistic of window ``i`` depends only on
+    window ``i``'s rows, so offline replay from the stored ledger
+    reproduces the live observation stream bit-identically.
+    """
+
+    def get(r, name, default=None):
+        if isinstance(r, dict):
+            return r.get(name, default)
+        return getattr(r, name, default)
+
+    rows = sorted(records, key=lambda r: get(r, "req_id"))
+    if not rows:
+        return []
+    num_windows = (get(rows[-1], "req_id") // window_requests) + 1
+    out: List[FleetWindowObservation] = []
+    for wi in range(num_windows):
+        lo, hi = wi * window_requests, (wi + 1) * window_requests
+        win = [r for r in rows if lo <= get(r, "req_id") < hi]
+        if not win:
+            continue
+        latencies: List[float] = []
+        per_replica: Dict[int, List[float]] = {}
+        replica_served: Dict[int, int] = {}
+        replica_shed: Dict[int, int] = {}
+        vertex_counts: Dict[int, int] = {}
+        shed = hedged = failover = 0
+        t_start = min(get(r, "arrival_s") for r in win)
+        t_end = t_start
+        for r in win:
+            v = int(get(r, "vertex"))
+            vertex_counts[v] = vertex_counts.get(v, 0) + 1
+            replica = int(get(r, "replica", -1))
+            if get(r, "hedged", False):
+                hedged += 1
+            if get(r, "failover", False):
+                failover += 1
+            if get(r, "shed") or get(r, "finish_s") is None:
+                shed += 1
+                if replica >= 0:
+                    replica_shed[replica] = replica_shed.get(replica, 0) + 1
+                continue
+            lat = get(r, "finish_s") - get(r, "arrival_s")
+            latencies.append(lat)
+            t_end = max(t_end, float(get(r, "finish_s")))
+            if replica >= 0:
+                per_replica.setdefault(replica, []).append(lat)
+                replica_served[replica] = replica_served.get(replica, 0) + 1
+        hot_vertex = min(
+            vertex_counts, key=lambda v: (-vertex_counts[v], v)
+        )
+        lat_arr = np.array(latencies) if latencies else np.zeros(0)
+        out.append(FleetWindowObservation(
+            window=wi,
+            t_start=float(t_start),
+            t_end=float(t_end),
+            offered=len(win),
+            served=len(latencies),
+            shed=shed,
+            p50_s=float(np.percentile(lat_arr, 50)) if len(lat_arr) else 0.0,
+            p95_s=float(np.percentile(lat_arr, 95)) if len(lat_arr) else 0.0,
+            mean_s=float(lat_arr.mean()) if len(lat_arr) else 0.0,
+            hot_vertex=int(hot_vertex),
+            hot_share=vertex_counts[hot_vertex] / len(win),
+            hedged=hedged,
+            failover=failover,
+            replica_served=dict(sorted(replica_served.items())),
+            replica_shed=dict(sorted(replica_shed.items())),
+            replica_mean_s={
+                k: float(np.mean(v)) for k, v in sorted(per_replica.items())
+            },
+        ))
+    return out
+
+
 __all__ = [
     "EpochObservation",
     "CrashObservation",
     "WindowObservation",
+    "FleetWindowObservation",
     "TimelineObserver",
     "observation_from_dict",
     "window_observations_from_records",
+    "fleet_window_observations_from_records",
 ]

@@ -167,7 +167,7 @@ def _charge_transition(
     for w in range(new_engine.cluster.num_workers):
         timeline.advance_at_least_until(w, handover_t)
     t0 = timeline.barrier()
-    new_plan = new_engine.plan()
+    new_plan = new_engine.plan()  # None for per-round-compiled engines
     run_exchange(
         timeline,
         new_engine.cluster.network,
@@ -178,9 +178,10 @@ def _charge_transition(
         faults=new_engine.faults,
         retry=new_engine.retry,
     )
-    if new_plan.preprocessing_s > 0:
+    prep_s = new_plan.preprocessing_s if new_plan is not None else 0.0
+    if prep_s > 0:
         for w in range(new_engine.cluster.num_workers):
-            timeline.advance(w, CPU, new_plan.preprocessing_s)
+            timeline.advance(w, CPU, prep_s)
     t1 = timeline.barrier()
     m = new_engine.cluster.num_workers
     off_diag = ~np.eye(m, dtype=bool)
@@ -190,7 +191,7 @@ def _charge_transition(
         migrated_bytes=int(volumes[off_diag].sum()),
         num_workers=m,
     )
-    return t1 - t0, new_plan.preprocessing_s
+    return t1 - t0, prep_s
 
 
 def shrink_engine(engine, crash) -> Tuple[object, ShrinkRecord, MigrationReport]:
@@ -220,10 +221,15 @@ def shrink_engine(engine, crash) -> Tuple[object, ShrinkRecord, MigrationReport]
     volumes = _vertex_state_volumes(
         engine.graph, plan.moved, shard, plan.targets, new_m
     )
-    closure_volumes, closure_bytes = _closure_delta_volumes(
-        new_engine, new_plan, old_plan.cached_deps, plan.old_id
-    )
-    volumes = volumes + closure_volumes
+    if new_plan is not None and old_plan is not None:
+        closure_volumes, closure_bytes = _closure_delta_volumes(
+            new_engine, new_plan, old_plan.cached_deps, plan.old_id
+        )
+        volumes = volumes + closure_volumes
+    else:
+        # Per-round-compiled engines replicate no closure state, so a
+        # shrink moves only the vertices themselves.
+        closure_bytes = 0
     seconds, prep_s = _charge_transition(
         new_engine, volumes, handover_t, direction="shrink"
     )
@@ -305,7 +311,7 @@ def rejoin_engine(
     closure_bytes = 0
     feat_bytes = new_engine.graph.feature_dim * 4
     assignment = record.old_partitioning.assignment
-    for l in range(new_engine.num_layers):
+    for l in range(new_engine.num_layers if new_plan is not None else 0):
         cached = new_plan.cached_deps[l][rejoined]
         for owner in np.unique(assignment[cached]) if len(cached) else ():
             count = int((assignment[cached] == owner).sum())

@@ -29,6 +29,11 @@ def reprovision_bytes(engine, worker: int) -> int:
     feat_bytes = engine.graph.feature_dim * 4
     owned = engine.partitioning.part(worker)
     total = len(owned) * feat_bytes + engine.model.parameter_bytes()
+    if plan is None:
+        # Sampled engines compile a fresh plan per round and replicate
+        # no dependency state; the partition + parameters are all a
+        # replacement must re-fetch.
+        return int(total)
     for l in range(engine.num_layers):
         total += len(plan.cached_deps[l][worker]) * feat_bytes
         block = plan.blocks[l][worker]
@@ -66,7 +71,7 @@ def recover_from_crash(
         worker, NET_RECV, network.wire_time(refetch), num_bytes=refetch
     )
     plan = engine.plan()
-    if plan.preprocessing_s > 0:
+    if plan is not None and plan.preprocessing_s > 0:
         engine.timeline.advance(worker, CPU, plan.preprocessing_s)
     engine.faults.schedule.mark_recovered(fault)
     if engine._cache_active:

@@ -21,6 +21,7 @@ sets it to reproduce its golden trajectory bit for bit).
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -119,6 +120,12 @@ class SampledTrainingEngine(BaseEngine):
         self._reuse: List[Optional[ReuseState]] = [None] * cluster.num_workers
         self._cost: Optional[SamplingCostModel] = None
         self.last_epoch_stats: Optional[Dict[str, float]] = None
+        # Legacy-stream rollback support: the sequential RNG's state at
+        # every completed-epoch boundary, so a checkpoint restore can
+        # rewind the draw order along with the weights.  Keyed samplers
+        # need none of this -- their draws are pure in (seed, epoch).
+        self._rng_states: Dict[int, dict] = {}
+        self._save_rng_state()
 
     # -- planning ------------------------------------------------------
     def plan(self):
@@ -152,6 +159,54 @@ class SampledTrainingEngine(BaseEngine):
             ),
         )
         return kwargs
+
+    # -- sampler state (fault tolerance) -------------------------------
+    def _save_rng_state(self) -> None:
+        if self.rng is not None:
+            self._rng_states[self._epoch] = copy.deepcopy(
+                self.rng.bit_generator.state
+            )
+
+    def sampler_state(self) -> Dict[str, object]:
+        """Checkpointable sampler state (epoch + legacy stream position).
+
+        Keyed samplers return ``legacy_rng=None``: their draws are pure
+        functions of ``(seed, epoch, batch, ids)``, so the epoch counter
+        alone pins them.
+        """
+        return {
+            "epoch": self._epoch,
+            "legacy_rng": (
+                copy.deepcopy(self.rng.bit_generator.state)
+                if self.rng is not None
+                else None
+            ),
+        }
+
+    def load_sampler_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`sampler_state` snapshot (checkpoint path)."""
+        legacy = state.get("legacy_rng")
+        if self.rng is not None and legacy is not None:
+            self.rng.bit_generator.state = copy.deepcopy(legacy)
+            self._rng_states[int(state["epoch"])] = copy.deepcopy(legacy)
+
+    def rollback_to_epoch(self, epoch: int) -> None:
+        """Rewind the epoch counter *and* the legacy sampling stream.
+
+        Without this the sequential stream keeps the draws it made in
+        the epochs being rolled back, so the replay would sample
+        different mini-batches and the recovered trajectory would
+        silently diverge from an uninterrupted run.
+        """
+        super().rollback_to_epoch(epoch)
+        if self.rng is not None:
+            state = self._rng_states.get(epoch)
+            if state is not None:
+                self.rng.bit_generator.state = copy.deepcopy(state)
+            self._rng_states = {
+                e: s for e, s in self._rng_states.items() if e <= epoch
+            }
+        self._reuse = [None] * self.cluster.num_workers
 
     # -- batching and sampling -----------------------------------------
     def _worker_batches(self, shuffle: bool) -> List[List[np.ndarray]]:
@@ -301,6 +356,7 @@ class SampledTrainingEngine(BaseEngine):
         self.plan_ = None
         self.program_ = None
         self._epoch += 1
+        self._save_rng_state()
         stats["comm_bytes"] = comm_bytes
         stats["unique_remote"] = (
             int(len(np.unique(np.concatenate(unique_remote))))

@@ -21,10 +21,27 @@ split:
   (p50/p95/p99, throughput), admission control, and load shedding;
 - :mod:`repro.serving.server` -- the :class:`InferenceServer` tying it
   together, including degraded serving under a
-  :class:`~repro.resilience.faults.FaultSchedule`.
+  :class:`~repro.resilience.faults.FaultSchedule`;
+- :mod:`repro.serving.fleet` / :mod:`repro.serving.router` /
+  :mod:`repro.serving.autoscaler` -- the self-healing replicated fleet:
+  N serving groups behind a popularity-aware router, with
+  health-checked failover, seeded hedged requests, and SLO-burn-driven
+  autoscaling.
 """
 
+from repro.serving.autoscaler import (
+    AutoscalerConfig,
+    ScalingEvent,
+    SLOAutoscaler,
+)
 from repro.serving.batcher import MicroBatch, MicroBatcher
+from repro.serving.fleet import (
+    FleetConfig,
+    FleetResult,
+    ReplicaGroup,
+    ServingFleet,
+)
+from repro.serving.router import PopularityRouter
 from repro.serving.planner import ClosureProfile, RequestPlanner
 from repro.serving.server import InferenceServer, ServingConfig, ServingResult
 from repro.serving.slo import LatencyLedger, RequestRecord, SLOConfig
@@ -36,17 +53,25 @@ from repro.serving.workload import (
 )
 
 __all__ = [
+    "AutoscalerConfig",
     "BurstPhase",
     "ClosureProfile",
+    "FleetConfig",
+    "FleetResult",
     "InferenceServer",
     "LatencyLedger",
     "MicroBatch",
     "MicroBatcher",
+    "PopularityRouter",
+    "ReplicaGroup",
     "Request",
     "RequestPlanner",
     "RequestRecord",
+    "SLOAutoscaler",
     "SLOConfig",
+    "ScalingEvent",
     "ServingConfig",
+    "ServingFleet",
     "ServingResult",
     "WorkloadConfig",
     "generate_workload",

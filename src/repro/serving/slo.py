@@ -47,6 +47,13 @@ class RequestRecord:
     served from (0 for exact recomputes); ``degraded`` marks answers
     produced on a fallback worker or from an expired cache entry while
     the owner was dead.
+
+    Fleet serving (:mod:`repro.serving.fleet`) annotates three more
+    fields: ``replica`` is the serving group that produced the answer
+    (-1 for a plain single-server run), ``hedged`` marks answers won by
+    a seeded duplicate sent to a backup replica, and ``failover`` marks
+    answers re-served on a healthy replica after the routed one was
+    declared dead.
     """
 
     req_id: int
@@ -60,6 +67,9 @@ class RequestRecord:
     staleness_s: float = 0.0
     shed: bool = False
     degraded: bool = False
+    replica: int = -1
+    hedged: bool = False
+    failover: bool = False
 
     @property
     def latency_s(self) -> Optional[float]:
@@ -166,23 +176,32 @@ class LatencyLedger:
             "throughput_rps": self.throughput_rps(),
             "total_comm_bytes": self.total_comm_bytes,
             "mean_staleness_s": self.mean_staleness_s(),
-            "records": [
-                {
-                    "req_id": r.req_id,
-                    "vertex": r.vertex,
-                    "arrival_s": r.arrival_s,
-                    "dispatch_s": r.dispatch_s,
-                    "finish_s": r.finish_s,
-                    "latency_ms": (
-                        None if r.latency_s is None else r.latency_s * 1e3
-                    ),
-                    "mode": r.mode,
-                    "worker": r.worker,
-                    "comm_bytes": r.comm_bytes,
-                    "staleness_s": r.staleness_s,
-                    "shed": r.shed,
-                    "degraded": r.degraded,
-                }
-                for r in self.records
-            ],
+            "records": [self._record_dict(r) for r in self.records],
         }
+
+    @staticmethod
+    def _record_dict(r: RequestRecord) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "req_id": r.req_id,
+            "vertex": r.vertex,
+            "arrival_s": r.arrival_s,
+            "dispatch_s": r.dispatch_s,
+            "finish_s": r.finish_s,
+            "latency_ms": (
+                None if r.latency_s is None else r.latency_s * 1e3
+            ),
+            "mode": r.mode,
+            "worker": r.worker,
+            "comm_bytes": r.comm_bytes,
+            "staleness_s": r.staleness_s,
+            "shed": r.shed,
+            "degraded": r.degraded,
+        }
+        # Fleet annotations only appear on fleet-routed records, so a
+        # plain single-server ledger serialises exactly as it always
+        # did (the golden-parity fixtures pin that layout).
+        if r.replica >= 0:
+            out["replica"] = r.replica
+            out["hedged"] = r.hedged
+            out["failover"] = r.failover
+        return out

@@ -49,7 +49,7 @@ from repro.training.trainer import (
     TrainingHistory,
 )
 
-_Snapshot = Tuple[int, Dict[str, np.ndarray], dict]
+_Snapshot = Tuple[int, Dict[str, np.ndarray], dict, Optional[dict]]
 
 
 class ResilientTrainer(DistributedTrainer):
@@ -107,6 +107,11 @@ class ResilientTrainer(DistributedTrainer):
     def _snapshot(self, epoch: int) -> _Snapshot:
         model_state = self.engine.model.state_dict()  # already copies
         opt_state = self.optimizer.state_dict()
+        # Sampled engines carry draw state (the legacy sequential
+        # stream's position); checkpointing it makes the replayed
+        # trajectory redraw the same mini-batches.
+        sampler_fn = getattr(self.engine, "sampler_state", None)
+        sampler_state = sampler_fn() if callable(sampler_fn) else None
         if self.checkpoint_dir is not None:
             self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
             save_checkpoint(
@@ -116,14 +121,18 @@ class ResilientTrainer(DistributedTrainer):
                 epoch=epoch,
                 engine=self.engine.name,
             )
-        return epoch, model_state, opt_state
+        return epoch, model_state, opt_state, sampler_state
 
     def _restore(self, snapshot: _Snapshot) -> int:
-        epoch, model_state, opt_state = snapshot
+        epoch, model_state, opt_state, sampler_state = snapshot
         self.engine.model.load_state_dict(model_state)
         self.optimizer.load_state_dict(opt_state)
         self.optimizer.zero_grad()
         self.engine.rollback_to_epoch(epoch)
+        if sampler_state is not None:
+            loader = getattr(self.engine, "load_sampler_state", None)
+            if callable(loader):
+                loader(sampler_state)
         return epoch
 
     def _handle_crash(

@@ -1,0 +1,82 @@
+"""Fleet-specific ops problems: replica crash and hotspot burn.
+
+The generic verdict/grade/replay matrix in ``test_harness.py`` and
+``test_replay.py`` already covers both problems; these tests pin the
+fleet-only artifacts -- per-replica ledger fields, the quarantine and
+scale-out mitigations acting on the live fleet, and the grade gap a
+mitigated run must open over an unmitigated one.
+"""
+
+import pytest
+
+from repro.ops import get_problem, run_problem
+
+FLEET_PROBLEMS = ["serve-hotspot-burn", "serve-replica-crash"]
+
+
+@pytest.mark.parametrize("name", FLEET_PROBLEMS)
+class TestFleetRuns:
+    def test_blame_matches_ground_truth(self, mitigated_runs, name):
+        res = mitigated_runs[name]
+        assert res.verdict is not None
+        assert res.verdict.kind == res.ground_truth.kind
+        assert res.verdict.worker == res.ground_truth.worker
+        assert res.verdict.detected_at_s >= res.ground_truth.start_s
+
+    def test_ledger_records_carry_replica_attribution(
+        self, mitigated_runs, name
+    ):
+        records = mitigated_runs[name].ledger_records
+        assert records
+        served = [r for r in records if not r["shed"]]
+        assert served
+        assert all(r["replica"] >= 0 for r in served)
+        # More than one replica actually answered traffic.
+        assert len({r["replica"] for r in served}) > 1
+
+    def test_mitigation_beats_unmitigated(self, mitigated_runs, name):
+        unmitigated = run_problem(get_problem(name), seed=0, mitigate=False)
+        assert unmitigated.mitigation is None
+        assert not unmitigated.grade.mitigation.applied
+        mitigated = mitigated_runs[name]
+        assert mitigated.grade.mitigation.recovered
+        assert mitigated.grade.overall > unmitigated.grade.overall
+
+
+class TestReplicaCrashMitigation:
+    def test_quarantine_stops_the_bleeding(self, mitigated_runs):
+        res = mitigated_runs["serve-replica-crash"]
+        assert res.mitigation is not None
+        assert res.mitigation.name == "failover"
+        blamed = res.mitigation.detail["quarantined_replica"]
+        assert blamed == res.problem.fault_replica
+        # Post-mitigation traffic never lands on the quarantined
+        # replica; its sheds all predate (or ride) the verdict window.
+        width = res.problem.window_requests
+        post = [
+            r for r in res.ledger_records
+            if r["req_id"] >= (res.verdict.unit + 1) * width
+        ]
+        assert post
+        assert all(not r["shed"] for r in post)
+        assert all(r["replica"] != blamed for r in post)
+
+
+class TestHotspotMitigation:
+    def test_scale_out_spins_up_a_charged_replica(self, mitigated_runs):
+        res = mitigated_runs["serve-hotspot-burn"]
+        assert res.mitigation is not None
+        assert res.mitigation.name == "scale-out"
+        detail = res.mitigation.detail
+        assert detail["scaled"]
+        assert detail["new_replica"] == res.problem.replicas
+        assert detail["transition_s"] > 0
+        assert detail["migrated_bytes"] > 0
+
+    def test_new_replica_absorbs_traffic(self, mitigated_runs):
+        res = mitigated_runs["serve-hotspot-burn"]
+        new_replica = res.mitigation.detail["new_replica"]
+        assert any(
+            r["replica"] == new_replica and not r["shed"]
+            for r in res.ledger_records
+        )

@@ -24,6 +24,10 @@ EXPECTED_BLAME = {
     "train-crash-permanent": {"kind": "crash", "worker": 2},
     "train-cache-thrash": {"kind": "cache-thrash", "layer": 2},
     "serve-slo-burn": {"kind": "slo-burn", "worker": 1},
+    "serve-replica-crash": {"kind": "replica-crash", "worker": 1},
+    # The hot replica depends on where the router pins the Zipf head;
+    # blame correctness is checked against the run's own ground truth.
+    "serve-hotspot-burn": {"kind": "hotspot-burn"},
 }
 
 ALL_PROBLEMS = sorted(EXPECTED_BLAME)

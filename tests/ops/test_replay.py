@@ -14,6 +14,8 @@ from repro.ops import (
 )
 
 ALL_PROBLEMS = [
+    "serve-hotspot-burn",
+    "serve-replica-crash",
     "serve-slo-burn",
     "train-cache-thrash",
     "train-crash-permanent",

@@ -138,6 +138,39 @@ class TestSegmentedServing:
         )
         assert state["ledger"].to_dict() == one.ledger.to_dict()
 
+    def test_fault_window_straddling_segment_boundary(self, serving_parts):
+        """A bounded fault window that opens in one segment and closes
+        in the next must charge identically whether the stream is served
+        in one shot or segment by segment -- the continuation carries no
+        hidden fault state."""
+        from repro.resilience.faults import StragglerFault
+
+        graph = serving_parts[0]
+        requests = workload(graph)
+        width = 20
+        boundary_t = requests[width].arrival_s
+        start, end = boundary_t - 0.0015, boundary_t + 0.0015
+        # The window genuinely crosses the segment boundary.
+        assert requests[width - 1].arrival_s < end
+        assert requests[width].arrival_s > start
+        config = ServingConfig(batch_window_s=0.0, max_batch=1, mode="local")
+        faults = lambda: FaultSchedule(  # noqa: E731 - fresh per server
+            [StragglerFault(worker=1, gpu_factor=25.0, start=start, end=end)]
+        )
+        one = make_server(serving_parts, config, faults=faults()).serve(
+            requests
+        )
+        state = self._segmented(
+            make_server(serving_parts, config, faults=faults()),
+            requests, width=width,
+        )
+        assert state["ledger"].to_dict() == one.ledger.to_dict()
+        assert state["predictions"] == one.predictions
+        assert state["timeline"].makespan == one.timeline.makespan
+        # The window did bite: some request slowed relative to fault-free.
+        clean = make_server(serving_parts, config).serve(requests)
+        assert one.ledger.p99_s > clean.ledger.p99_s
+
     def test_mid_stream_config_change_applies_to_later_segments(
         self, serving_parts
     ):

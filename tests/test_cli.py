@@ -157,6 +157,21 @@ class TestChaosCli:
         with pytest.raises(SystemExit):
             main(self.BASE + ["--crash", "1:0.0005", "--recovery", "magic"])
 
+    def test_sampled_engine_recovers(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "chaos.json"
+        assert main([
+            "chaos", "--dataset", "cora", "--scale", "0.1", "--nodes", "4",
+            "--epochs", "4", "--engine", "sampled", "--checkpoint-every", "2",
+            "--batch-size", "32", "--crash", "1:0.0005",
+            "--json", str(target),
+        ]) == 0
+        payload = json.loads(target.read_text())
+        report = payload["engines"]["sampled"]
+        assert len(report["recoveries"]) >= 1
+        assert report["num_workers_final"] == 4
+
 
 class TestReplanSweepCli:
     def test_sweep_reports_and_writes_json(self, capsys, tmp_path):
@@ -282,6 +297,51 @@ class TestServeBenchCli:
             payload["tau_sweep"][1]["comm_bytes"]
             <= payload["tau_sweep"][0]["comm_bytes"]
         )
+
+
+class TestFleetCli:
+    BASE = [
+        "fleet", "--dataset", "cora", "--scale", "0.1", "--nodes", "2",
+        "--replicas", "2", "--requests", "96", "--rate", "4000",
+        "--health-every", "32",
+    ]
+
+    def test_serves_and_reports(self, capsys):
+        assert main(self.BASE) == 0
+        out = capsys.readouterr().out
+        assert "p99 ms" in out
+        assert "replicas" in out
+
+    def test_crash_fails_over(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "fleet.json"
+        assert main(self.BASE + [
+            "--crash-replica", "1:0.005", "--json", str(target),
+        ]) == 0
+        payload = json.loads(target.read_text())
+        summary = payload["summary"]
+        assert summary["failovers"] > 0
+        assert summary["shed"] == 0
+        assert any(
+            e["event"] == "replica-dead" for e in summary["health_events"]
+        )
+
+    def test_no_self_heal_leaves_sheds(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "fleet.json"
+        assert main(self.BASE + [
+            "--crash-replica", "1:0.005", "--no-self-heal",
+            "--json", str(target),
+        ]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["summary"]["failovers"] == 0
+        assert payload["summary"]["shed"] > 0
+
+    def test_rejects_bad_replica_fault_spec(self):
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--crash-replica", "nonsense"])
 
 
 class TestSampleSweepCli:

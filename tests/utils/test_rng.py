@@ -8,6 +8,7 @@ import numpy as np
 import repro.engines.sampling
 import repro.resilience
 import repro.sampling
+import repro.serving
 from repro.utils.rng import (
     derive_rng,
     derive_seed_sequence,
@@ -84,14 +85,16 @@ class TestNoDirectRngInScannedPackages:
         ("resilience", Path(repro.resilience.__file__).parent),
         ("sampling", Path(repro.sampling.__file__).parent),
         ("engines/sampling.py", Path(repro.engines.sampling.__file__)),
+        ("serving", Path(repro.serving.__file__).parent),
     ]
 
     def test_all_draws_route_through_derive_rng(self):
-        """Every random draw in the resilience layer and the sampling
-        subsystem must go through ``repro.utils.rng`` so fault jitter
-        and sampled closures stay replayable from a single run seed; a
-        direct ``default_rng``/``RandomState`` call would fork an
-        untracked stream."""
+        """Every random draw in the resilience layer, the sampling
+        subsystem, and the serving fleet (workload generation, hedge
+        jitter, routing hashes) must go through ``repro.utils.rng`` so
+        fault jitter and sampled closures stay replayable from a single
+        run seed; a direct ``default_rng``/``RandomState`` call would
+        fork an untracked stream."""
         direct = re.compile(
             r"np\.random\.(default_rng|RandomState|seed)\s*\("
         )
