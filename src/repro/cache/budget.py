@@ -109,6 +109,19 @@ class CacheBudget:
             capacity_entries=config.capacity_entries,
         )
 
+    def snapshot(self) -> tuple:
+        """Capture (entries, bytes) for a later :meth:`restore`.
+
+        Tracker-side allocations are *not* captured here; callers that
+        roll back admissions must also restore the tracker's own
+        snapshot (see :meth:`MemoryTracker.snapshot`).
+        """
+        return (self.entries, self.bytes)
+
+    def restore(self, state: tuple) -> None:
+        """Roll back to a :meth:`snapshot` taken on this budget."""
+        self.entries, self.bytes = int(state[0]), int(state[1])
+
     def would_admit(self, nbytes: int) -> bool:
         if self.capacity_entries is not None and self.entries >= self.capacity_entries:
             return False

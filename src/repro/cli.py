@@ -47,6 +47,10 @@ Commands
     Sweep the sampled-training grid (sampler x fanout x kappa x
     feature-cache capacity), reporting charged epoch time, comm
     bytes, and reuse/cache counters per grid point.
+``tp-sweep``
+    Sweep degree skew x hidden width on the scaled-social family and
+    locate where tensor parallelism (the fourth dependency strategy)
+    overtakes the best pure three-way plan.
 """
 
 from __future__ import annotations
@@ -372,6 +376,49 @@ def cmd_sample_sweep(args) -> int:
             "epochs": args.epochs,
             "rows": rows_data,
         })
+    return 0
+
+
+def cmd_tp_sweep(args) -> int:
+    from repro.engines.tp_sweep import PURE_THREE_WAY, run_tp_sweep
+
+    result = run_tp_sweep(
+        exponents=tuple(float(e) for e in args.exponents.split(",")),
+        hiddens=tuple(int(h) for h in args.hiddens.split(",")),
+        num_vertices=args.vertices,
+        avg_degree=args.degree,
+        num_layers=args.layers,
+        arch=args.arch,
+        cluster=_cluster(args),
+        seed=args.seed,
+    )
+    rows = []
+    for r in result["rows"]:
+        times = r["times_s"]
+        rows.append([
+            f"{r['hub_exponent']:g}", str(r["hidden"]),
+            *(f"{times[name] * 1e3:.3f}" for name in PURE_THREE_WAY),
+            f"{times['tp'] * 1e3:.3f}", f"{times['hybrid4'] * 1e3:.3f}",
+            "".join("T" if flag else "." for flag in r["tp_layers"]),
+            "hybrid4" if r["four_way_wins"]
+            else ("tp" if r["tp_wins"] else "three-way"),
+        ])
+    print(render_table(
+        ["skew", "hidden", "depcache ms", "depcomm ms", "hybrid ms",
+         "tp ms", "hybrid4 ms", "tp layers", "winner"],
+        rows,
+    ))
+    crossover = result["crossover"]
+    wins = crossover["four_way_win_cells"]
+    if wins:
+        print(f"four-way beats the best pure three-way plan at: "
+              f"{', '.join(f'(skew={e:g}, hidden={h})' for e, h in wins)}")
+    else:
+        print("four-way never beats the best pure three-way plan "
+              "on this grid")
+    if args.json:
+        write_json(args.json, result)
+        print(f"sweep written to {args.json}")
     return 0
 
 
@@ -1214,8 +1261,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_args(train)
     _add_cluster_args(train)
     train.add_argument("--engine", default="hybrid",
-                       choices=["depcache", "depcomm", "hybrid", "distdgl",
-                                "sampled"])
+                       choices=["depcache", "depcomm", "hybrid", "hybrid4",
+                                "tp", "distdgl", "sampled"])
     _add_sampling_args(train)
     train.add_argument("--epochs", type=int, default=30)
     train.add_argument("--lr", type=float, default=0.01)
@@ -1272,8 +1319,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_args(explain)
     _add_cluster_args(explain)
     explain.add_argument("--engine", default="hybrid",
-                         choices=["depcache", "depcomm", "hybrid", "roc",
-                                  "distdgl", "sampled"])
+                         choices=["depcache", "depcomm", "hybrid", "hybrid4",
+                                  "roc", "distdgl", "sampled", "tp"])
     explain.add_argument("--sampled", action="store_true",
                          help="dry-run and render per-batch sampled "
                               "programs (implied by a sampled engine)")
@@ -1316,6 +1363,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="charged epochs per grid point (default 2)")
     ssweep.add_argument("--json", default=None,
                         help="write the sweep rows to this JSON file")
+
+    tpsweep = sub.add_parser(
+        "tp-sweep",
+        help="degree-skew x hidden-dim sweep locating the hybrid <-> "
+             "tensor-parallel crossover",
+    )
+    _add_cluster_args(tpsweep)
+    tpsweep.add_argument("--exponents", default="0.1,0.85,1.2",
+                         help="comma-separated scaled-social hub exponents "
+                              "(default '0.1,0.85,1.2')")
+    tpsweep.add_argument("--hiddens", default="16,64,256",
+                         help="comma-separated hidden widths "
+                              "(default '16,64,256')")
+    tpsweep.add_argument("--vertices", type=int, default=3072,
+                         help="scaled-social vertex count (default 3072)")
+    tpsweep.add_argument("--degree", type=float, default=16.0,
+                         help="scaled-social average degree (default 16)")
+    tpsweep.add_argument("--arch", choices=["gcn", "gin", "gat", "sage"],
+                         default="gcn")
+    tpsweep.add_argument("--layers", type=int, default=2)
+    tpsweep.add_argument("--seed", type=int, default=0)
+    tpsweep.add_argument("--json", default=None,
+                         help="write the sweep result to this JSON file")
 
     analyze = sub.add_parser(
         "analyze", help="structural report + strategy recommendation"
@@ -1599,6 +1669,7 @@ _COMMANDS = {
     "fleet": cmd_fleet,
     "explain-plan": cmd_explain_plan,
     "sample-sweep": cmd_sample_sweep,
+    "tp-sweep": cmd_tp_sweep,
 }
 
 

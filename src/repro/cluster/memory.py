@@ -76,6 +76,22 @@ class MemoryTracker:
         self._peak = max(self._peak, self._used)
         self._by_label[label] = self._by_label.get(label, 0) + num_bytes
 
+    def snapshot(self) -> tuple:
+        """Capture (used, per-label) state for a later :meth:`restore`.
+
+        The four-way greedy tentatively runs a layer's three-way pass,
+        then rolls the allocations back wholesale when the layer flips
+        to tensor parallelism; peak tracking is deliberately left
+        untouched (the tentative allocations really were resident).
+        """
+        return (self._used, dict(self._by_label))
+
+    def restore(self, state: tuple) -> None:
+        """Roll back to a :meth:`snapshot` taken on this tracker."""
+        used, by_label = state
+        self._used = int(used)
+        self._by_label = dict(by_label)
+
     def free(self, num_bytes: int, label: str) -> None:
         """Release ``num_bytes`` previously allocated under ``label``."""
         num_bytes = int(num_bytes)

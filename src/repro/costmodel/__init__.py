@@ -10,7 +10,7 @@
 """
 
 from repro.costmodel.probe import ProbeResult, probe_constants
-from repro.costmodel.costs import DependencyCostModel
+from repro.costmodel.costs import DependencyCostModel, TensorParallelCostInputs
 from repro.costmodel.partitioner import (
     DependencyPartition,
     partition_dependencies,
@@ -21,5 +21,6 @@ __all__ = [
     "probe_constants",
     "DependencyCostModel",
     "DependencyPartition",
+    "TensorParallelCostInputs",
     "partition_dependencies",
 ]

@@ -15,7 +15,7 @@ from typing import List
 
 import numpy as np
 
-from repro.costmodel.probe import ProbeResult
+from repro.costmodel.probe import _BACKWARD_COMM, ProbeResult
 from repro.graph.graph import Graph
 
 
@@ -27,6 +27,30 @@ class SubtreeMeasurement:
     new_vertices: List[np.ndarray]  # per level k = l-1 .. 0 (h^k to compute)
     new_edge_count: int
     memory_bytes: int
+
+
+@dataclass(frozen=True)
+class TensorParallelCostInputs:
+    """Per-worker quantities that price the tensor-parallel option.
+
+    Flipping a layer to tensor parallelism replaces this worker's
+    per-dependency traffic with two dense slice transposes (NeutronTP):
+    the worker ships ``(m-1)/m`` of its owned rows out and receives a
+    ``1/m`` slice of everyone else's, then aggregates its slice over
+    the *full* edge set -- so the compute side trades the worker's own
+    edges for an even ``1/m`` share of all edges.
+
+    ``cost_scale`` scales the modeled TP cost; ``inf`` disables the
+    option entirely (the four-way greedy degenerates to three-way),
+    which the property tests use to pin bit-identical fallback.
+    """
+
+    num_workers: int
+    num_vertices: int
+    num_owned: int
+    total_edges: int
+    owned_in_edges: int
+    cost_scale: float = 1.0
 
 
 class DependencyCostModel:
@@ -54,6 +78,7 @@ class DependencyCostModel:
         constants: ProbeResult,
         owned_mask: np.ndarray,
         mu: float = 1.0,
+        tp: "TensorParallelCostInputs" = None,
     ):
         if not 0 < mu <= 1:
             raise ValueError("mu must be in (0, 1]")
@@ -62,6 +87,7 @@ class DependencyCostModel:
         self.constants = constants
         self.owned_mask = owned_mask
         self.mu = mu
+        self.tp = tp
         # V_rep: vertices whose h^k is already locally (re)computed, per
         # level k.  Level 0 entries mean "feature already cached".
         self.replicated: List[np.ndarray] = [
@@ -95,6 +121,38 @@ class DependencyCostModel:
     def cache_entry_bytes(self, layer: int) -> int:
         """Resident bytes of one cached ``h^{l-1}`` row at ``layer``."""
         return self.dims[layer - 1] * 4
+
+    def t_tp(self, layer: int) -> float:
+        """Modeled per-epoch cost of running ``layer`` tensor-parallel.
+
+        Communication is the two slice transposes (slice before the
+        layer, unslice after): this worker sends ``n_own * (m-1)/m``
+        rows and receives ``(n - n_own) / m`` row-equivalents of width
+        ``d^{l-1}``, each direction once forward and once backward
+        (``_BACKWARD_COMM``), priced at the bulk per-byte rate plus one
+        message latency per peer.  Compute is the *delta* against the
+        hybrid plan: TP aggregates an even ``1/m`` share of all edges
+        instead of the worker's own in-edges, so hub-heavy workers get
+        a negative (beneficial) term and the deltas sum to zero across
+        workers.  Returns ``inf`` when the TP option is unavailable.
+        """
+        tp = self.tp
+        if tp is None or tp.num_workers < 2 or math.isinf(tp.cost_scale):
+            return math.inf
+        m = tp.num_workers
+        d = self.dims[layer - 1]
+        rows = (
+            tp.num_owned * (m - 1) / m
+            + (tp.num_vertices - tp.num_owned) / m
+        )
+        comm = _BACKWARD_COMM * (
+            rows * d * 4 * self.constants.t_c_byte
+            + 2 * (m - 1) * self.constants.t_msg
+        )
+        compute = (
+            tp.total_edges / m - tp.owned_in_edges
+        ) * self.constants.edge_cost(layer)
+        return tp.cost_scale * (comm + compute)
 
     def t_r(self, u: int, layer: int) -> SubtreeMeasurement:
         """Eq. 1: redundant-computation cost of caching ``u`` at ``layer``.

@@ -18,7 +18,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.costmodel.costs import DependencyCostModel
+from repro.costmodel.costs import DependencyCostModel, TensorParallelCostInputs
 from repro.costmodel.probe import ProbeResult
 from repro.graph.graph import Graph
 from repro.graph.khop import dependency_layers
@@ -45,12 +45,24 @@ def _evaluate(
     deps: List[np.ndarray],
     mu: float,
     memory_limit_bytes: Optional[int],
+    tp: Optional[TensorParallelCostInputs] = None,
+    tp_layers: Optional[List[bool]] = None,
 ) -> Optional[float]:
-    """Total Eq.-3 cost of a concrete R assignment (None if infeasible)."""
-    cost_model = DependencyCostModel(graph, dims, constants, owned_mask, mu=mu)
+    """Total Eq.-3 cost of a concrete R assignment (None if infeasible).
+
+    ``tp_layers`` marks layers priced tensor-parallel: their per-
+    dependency terms are replaced by the single ``t_tp(l)`` term (the
+    fourth option's flat slice-transpose cost).
+    """
+    cost_model = DependencyCostModel(
+        graph, dims, constants, owned_mask, mu=mu, tp=tp
+    )
     total = 0.0
     memory = 0
     for l, (cached_l, deps_l) in enumerate(zip(choice, deps), start=1):
+        if tp_layers is not None and tp_layers[l - 1]:
+            total += cost_model.t_tp(l)
+            continue
         cached_set = set(cached_l.tolist())
         for u in deps_l:
             if int(u) in cached_set:
@@ -144,14 +156,21 @@ def greedy_cost(
     constants: ProbeResult,
     cached: List[np.ndarray],
     mu: float = 0.8,
+    tp: Optional[TensorParallelCostInputs] = None,
+    tp_layers: Optional[List[bool]] = None,
 ) -> float:
-    """Eq.-3 cost of an arbitrary (e.g. Algorithm 4's) R assignment."""
+    """Eq.-3 cost of an arbitrary (e.g. Algorithm 4's) R assignment.
+
+    With ``tp``/``tp_layers`` the assignment may flip whole layers to
+    tensor parallelism (the four-way greedy's output shape).
+    """
     owned = partitioning.part(worker)
     owned_mask = np.zeros(graph.num_vertices, dtype=bool)
     owned_mask[owned] = True
     deps = dependency_layers(graph, owned, len(dims) - 1)
     cost = _evaluate(
-        graph, dims, constants, owned_mask, cached, deps, mu, None
+        graph, dims, constants, owned_mask, cached, deps, mu, None,
+        tp=tp, tp_layers=tp_layers,
     )
     assert cost is not None
     return cost

@@ -23,6 +23,7 @@ draw from jointly.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -31,8 +32,8 @@ import numpy as np
 from repro.cache.budget import CacheBudget, CacheConfig
 from repro.cache.policies import make_policy
 from repro.cluster.memory import MemoryTracker
-from repro.costmodel.costs import DependencyCostModel
-from repro.costmodel.probe import ProbeResult
+from repro.costmodel.costs import DependencyCostModel, TensorParallelCostInputs
+from repro.costmodel.probe import _BACKWARD_COMM, ProbeResult
 from repro.graph.graph import Graph
 from repro.graph.khop import dependency_layers
 from repro.partition.base import Partitioning
@@ -62,6 +63,14 @@ class DependencyPartition:
     # a later run passes this back as ``warm_start`` to skip the initial
     # measurement sweep (lines 5-7) when re-planning online.
     initial_costs: List[Dict[int, float]] = field(default_factory=list)
+    # Four-way extension: this worker's per-layer tensor-parallel vote
+    # and both sides of the comparison (the engine aggregates the costs
+    # across workers before flipping a layer for real, so a flipped
+    # layer here still records ``communicated = all deps`` as the
+    # fallback if the global vote disagrees).
+    tp_layers: List[bool] = field(default_factory=list)
+    tp_cost_s: List[float] = field(default_factory=list)
+    three_way_cost_s: List[float] = field(default_factory=list)
 
     def _total(self) -> int:
         return (
@@ -83,6 +92,13 @@ class DependencyPartition:
 # visit is a few memory accesses per edge on the CPU.
 _SECONDS_PER_EDGE_VISIT = 4.0e-8
 _SECONDS_PER_EVALUATION = 1.5e-6
+
+# Share of the per-vertex exchange's receive time that survives overlap:
+# chunked execution starts aggregating as chunks land, hiding roughly
+# half the wire time under compute (the scheduler's overlap pipeline).
+# The TP slice transposes get no discount -- they are latency-dominated
+# and must complete before the layer's dense work can start.
+_OVERLAP_DISCOUNT = 0.5
 
 
 def _select_stale_cached(
@@ -123,8 +139,16 @@ def partition_dependencies(
     rng: Optional[np.random.Generator] = None,
     cache: Optional[CacheConfig] = None,
     warm_start: Optional[DependencyPartition] = None,
+    tp: Optional[TensorParallelCostInputs] = None,
 ) -> DependencyPartition:
     """Run Algorithm 4 for one worker.
+
+    ``tp`` enables the per-layer *four-way* extension: after the
+    three-way pass prices a layer, the whole layer is tentatively
+    flipped to tensor parallelism when ``t_tp(l)`` undercuts the
+    committed recompute + cached + comm total, rolling the tentative
+    replications and allocations back.  Forced-fraction mode ignores
+    ``tp`` (the Figure-11 sweep measures the three-way knob).
 
     ``force_cache_fraction`` bypasses the cost comparison and caches a
     fixed fraction of dependencies per layer (cheapest-first) -- the
@@ -148,11 +172,16 @@ def partition_dependencies(
     owned_mask[owned] = True
     deps = dependency_layers(graph, owned, num_layers)
 
-    cost_model = DependencyCostModel(graph, dims, constants, owned_mask, mu=mu)
+    cost_model = DependencyCostModel(
+        graph, dims, constants, owned_mask, mu=mu, tp=tp
+    )
     cached: List[np.ndarray] = []
     communicated: List[np.ndarray] = []
     stale_cached: List[np.ndarray] = []
     initial_costs: List[Dict[int, float]] = []
+    tp_layers: List[bool] = []
+    tp_cost_s: List[float] = []
+    three_way_cost_s: List[float] = []
     # One shared budget S: closures and cache entries draw jointly.
     # A zero budget still gets a (1-byte) tracker so every multi-byte
     # allocation is refused, matching the pre-tracker int bookkeeping.
@@ -178,17 +207,33 @@ def partition_dependencies(
     else:
         quota_remaining = None
 
+    tp_enabled = tp is not None and quota_remaining is None
+    tp_below = False  # this worker tentatively flipped a lower layer
+
     for l in range(1, num_layers + 1):
         layer_deps = deps[l - 1]
+        t_c = cost_model.t_c(l)
         warm_costs: Optional[Dict[int, float]] = None
         if warm_start is not None and l - 1 < len(warm_start.initial_costs):
             warm_costs = warm_start.initial_costs[l - 1]
         layer_costs: Dict[int, float] = {}
-        if budget_exhausted or len(layer_deps) == 0:
+        layer_cached_cost = 0.0
+        snapshot = None
+        if tp_enabled:
+            snapshot = (
+                [rep.copy() for rep in cost_model.replicated],
+                tracker.snapshot() if tracker is not None else None,
+                cache_budget.snapshot() if cache_budget is not None else None,
+                budget_exhausted,
+            )
+        # Below a TP layer the inputs exist only as owner-resident rows
+        # (there is no closure to replicate through a slice exchange),
+        # so recompute is off the table and the layer is priced on the
+        # cached/comm options alone.
+        if budget_exhausted or len(layer_deps) == 0 or tp_below:
             cached.append(np.empty(0, dtype=np.int64))
             layer_cached = []
         else:
-            t_c = cost_model.t_c(l)
             # Line 5-7: initial measurement of every dependency (seeded
             # from the warm start's prior costs when available).
             heap = []
@@ -232,6 +277,7 @@ def partition_dependencies(
                     budget_exhausted = True  # Line 14-15: stop immediately.
                     break
                 layer_cached.append(u)
+                layer_cached_cost += measurement.cost_s
                 if quota_remaining is not None:
                     quota_remaining -= 1
                 cost_model.commit(u, l, measurement)
@@ -248,6 +294,50 @@ def partition_dependencies(
             stale = np.empty(0, dtype=np.int64)
         stale_cached.append(stale)
         communicated.append(np.setdiff1d(remaining, stale))
+
+        # Fourth option: flip the whole layer to tensor parallelism
+        # when the dense slice transposes undercut the three-way total.
+        # The comparison prices the comm share in the same bulk units as
+        # ``t_tp`` (bytes at the wire rate plus one latency per peer,
+        # forward + backward) rather than the per-vertex ``t_c``, whose
+        # amortized framing overhead would bias the vote toward TP.
+        tp_cost = cost_model.t_tp(l) if tp_enabled else math.inf
+        stale_cost = (
+            len(stale) * cost_model.t_cached(l, cache.tau)
+            if cache is not None
+            else 0.0
+        )
+        comm_rows = len(communicated[-1])
+        bulk_comm = 0.0
+        if comm_rows:
+            bulk_comm = _BACKWARD_COMM * (
+                comm_rows * dims[l - 1] * 4 * constants.t_c_byte
+                + (partitioning.num_parts - 1) * constants.t_msg
+            )
+        three_way = (
+            layer_cached_cost + stale_cost + _OVERLAP_DISCOUNT * bulk_comm
+        )
+        tp_cost_s.append(tp_cost)
+        three_way_cost_s.append(three_way)
+        flip = tp_enabled and len(layer_deps) > 0 and tp_cost < three_way
+        tp_layers.append(flip)
+        if flip:
+            reps, tracker_state, cache_state, prior_exhausted = snapshot
+            cost_model.replicated = reps
+            if tracker is not None and tracker_state is not None:
+                tracker.restore(tracker_state)
+            if cache_budget is not None and cache_state is not None:
+                cache_budget.restore(cache_state)
+            budget_exhausted = prior_exhausted
+            cached[-1] = np.empty(0, dtype=np.int64)
+            stale_cached[-1] = np.empty(0, dtype=np.int64)
+            # Every dependency stays fetchable: if the engine-level vote
+            # keeps the layer three-way, this worker falls back to pure
+            # DepComm for it rather than an unplanned recompute.
+            communicated[-1] = np.sort(
+                np.asarray(layer_deps, dtype=np.int64)
+            )
+            tp_below = True
 
     closure_bytes = 0
     cache_bytes = 0
@@ -266,4 +356,65 @@ def partition_dependencies(
         stale_cached=stale_cached,
         cache_bytes=cache_bytes,
         initial_costs=initial_costs,
+        tp_layers=tp_layers,
+        tp_cost_s=tp_cost_s,
+        three_way_cost_s=three_way_cost_s,
     )
+
+
+def vote_tp_layers(
+    partitions: Dict[int, DependencyPartition],
+    assignment: np.ndarray,
+    dims: List[int],
+    constants: ProbeResult,
+    num_workers: int,
+) -> List[bool]:
+    """Aggregate per-worker four-way prices into one global per-layer vote.
+
+    The engine flips a layer to tensor parallelism only when the slowest
+    worker's TP cost undercuts the slowest worker's three-way cost plus
+    the *excess sender straggler*.  Per-worker prices only count what a
+    worker receives, but the per-vertex exchange also serializes each
+    owner's sends -- under degree skew the hub owner ships far more rows
+    than the balanced share, and the BSP barrier makes every worker wait
+    for it.  The penalty charges the straggler's rows beyond the mean at
+    the bulk byte rate (forward + backward); TP's all-to-all is
+    volume-balanced by construction, so it pays no such term.
+
+    Layers priced ``inf`` on any worker (TP disabled or unpriced) and
+    layers with no remote dependencies never flip.
+    """
+    if not partitions:
+        return []
+    num_layers = min(
+        min(len(p.tp_cost_s), len(p.three_way_cost_s))
+        for p in partitions.values()
+    )
+    flags: List[bool] = []
+    for l in range(1, num_layers + 1):
+        tp_max = 0.0
+        three_way_max = 0.0
+        send_rows = np.zeros(num_workers, dtype=np.int64)
+        total_rows = 0
+        for part in partitions.values():
+            tp_max = max(tp_max, part.tp_cost_s[l - 1])
+            three_way_max = max(three_way_max, part.three_way_cost_s[l - 1])
+            comm = part.communicated[l - 1]
+            if len(comm):
+                send_rows += np.bincount(
+                    assignment[comm], minlength=num_workers
+                )
+                total_rows += len(comm)
+        if total_rows == 0 or math.isinf(tp_max):
+            flags.append(False)
+            continue
+        excess = float(send_rows.max()) - total_rows / num_workers
+        straggler = (
+            max(0.0, excess)
+            * dims[l - 1]
+            * 4
+            * constants.t_c_byte
+            * _BACKWARD_COMM
+        )
+        flags.append(tp_max < three_way_max + straggler)
+    return flags

@@ -44,6 +44,13 @@ class ProbeResult:
     t_v_layer: List[float]
     t_e_layer: List[float]
     t_c_layer: List[float]
+    # Bulk-transfer decomposition used by the tensor-parallel cost
+    # term: ``t_c`` folds the per-vertex message overhead into a single
+    # per-dimension rate, but a feature-slice all-to-all ships a few
+    # huge messages, so its cost is ``bytes * t_c_byte`` plus
+    # ``t_msg`` per peer message (one-way, before the fwd+bwd factor).
+    t_c_byte: float = 0.0
+    t_msg: float = 0.0
 
     def vertex_cost(self, layer: int) -> float:
         """Per-epoch seconds to (re)compute one vertex at layer ``layer``."""
@@ -115,6 +122,13 @@ def probe_constants(
     t_v = sum(t / d for t, d in zip(t_v_layer, dims[1:])) / model.num_layers
     t_e = sum(t / d for t, d in zip(t_e_layer, dims[:-1])) / model.num_layers
     t_c = sum(t / d for t, d in zip(t_c_layer, dims[:-1])) / model.num_layers
+    # Steady-state per-byte cost of a bulk transfer (wire + packing,
+    # one-way, latency excluded) and the per-message latency itself.
+    congestion = 1.0 if comm.ring else network.congestion_factor
+    t_c_byte = (
+        congestion / network.bytes_per_s + 1.0 / network.cpu_pack_bytes_per_s
+    )
+    t_msg = network.latency_s * congestion
     return ProbeResult(
         t_v=t_v,
         t_e=t_e,
@@ -122,4 +136,6 @@ def probe_constants(
         t_v_layer=t_v_layer,
         t_e_layer=t_e_layer,
         t_c_layer=t_c_layer,
+        t_c_byte=t_c_byte,
+        t_msg=t_msg,
     )

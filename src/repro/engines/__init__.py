@@ -7,16 +7,23 @@ from repro.engines.hybrid import HybridEngine
 from repro.engines.roc_like import RocLikeEngine
 from repro.engines.sampling import SamplingEngine
 from repro.engines.shared_memory import SharedMemoryEngine
+from repro.engines.tensor_parallel import (
+    FourWayHybridEngine,
+    TensorParallelEngine,
+)
+from repro.engines.tp_sweep import run_tp_sweep
 from repro.sampling.engine import SampledTrainingEngine
 
 _ENGINES = {
     "depcache": DepCacheEngine,
     "depcomm": DepCommEngine,
     "hybrid": HybridEngine,
+    "hybrid4": FourWayHybridEngine,
     "roc": RocLikeEngine,
     "distdgl": SamplingEngine,
     "sampling": SamplingEngine,
     "sampled": SampledTrainingEngine,
+    "tp": TensorParallelEngine,
 }
 
 
@@ -36,10 +43,13 @@ __all__ = [
     "EpochReport",
     "DepCacheEngine",
     "DepCommEngine",
+    "FourWayHybridEngine",
     "HybridEngine",
     "RocLikeEngine",
     "SampledTrainingEngine",
     "SamplingEngine",
     "SharedMemoryEngine",
+    "TensorParallelEngine",
     "make_engine",
+    "run_tp_sweep",
 ]

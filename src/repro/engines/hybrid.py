@@ -13,7 +13,12 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.costmodel.partitioner import DependencyPartition, partition_dependencies
+from repro.costmodel.costs import TensorParallelCostInputs
+from repro.costmodel.partitioner import (
+    DependencyPartition,
+    partition_dependencies,
+    vote_tp_layers,
+)
 from repro.costmodel.probe import probe_constants
 from repro.engines.base import BaseEngine, HOST_MEMORY_BYTES
 
@@ -33,11 +38,21 @@ class HybridEngine(BaseEngine):
     chunked_execution = True
     tape_location = "host"
 
-    def __init__(self, *args, force_cache_fraction: Optional[float] = None, **kwargs):
+    def __init__(
+        self,
+        *args,
+        force_cache_fraction: Optional[float] = None,
+        tensor_parallel: bool = False,
+        **kwargs,
+    ):
         super().__init__(*args, **kwargs)
         if force_cache_fraction is not None and not 0 <= force_cache_fraction <= 1:
             raise ValueError("force_cache_fraction must be in [0, 1]")
         self.force_cache_fraction = force_cache_fraction
+        # Four-way mode: offer tensor parallelism (NeutronTP's sliced
+        # all-to-all) as a per-layer alternative to the three per-vertex
+        # dependency treatments.
+        self.tensor_parallel = tensor_parallel
         # Latest Algorithm-4 result per worker: online re-planning warm
         # starts the greedy from these instead of re-measuring every
         # subtree from scratch.
@@ -46,7 +61,38 @@ class HybridEngine(BaseEngine):
     def _spawn_kwargs(self):
         kwargs = super()._spawn_kwargs()
         kwargs["force_cache_fraction"] = self.force_cache_fraction
+        kwargs["tensor_parallel"] = self.tensor_parallel
         return kwargs
+
+    def _tp_inputs(self, worker: int) -> TensorParallelCostInputs:
+        owned = self.partitioning.part(worker)
+        return TensorParallelCostInputs(
+            num_workers=self.cluster.num_workers,
+            num_vertices=self.graph.num_vertices,
+            num_owned=len(owned),
+            total_edges=self.graph.num_edges,
+            owned_in_edges=int(
+                (self.assignment[self.graph.dst] == worker).sum()
+            ),
+        )
+
+    def _choose_tp_layers(self) -> List[bool]:
+        """Global per-layer TP vote: flip a layer iff the slowest
+        worker's slice-transpose cost beats the slowest worker's
+        three-way mix plus the sender-straggler penalty (see
+        :func:`repro.costmodel.partitioner.vote_tp_layers`), so every
+        worker executes the same per-layer strategy."""
+        L = self.num_layers
+        if not self.tensor_parallel or not self._dep_partitions:
+            return [False] * L
+        flags = vote_tp_layers(
+            self._dep_partitions,
+            self.assignment,
+            self.dims,
+            self.constants,
+            self.cluster.num_workers,
+        )
+        return (flags + [False] * L)[:L]
 
     def decide_dependencies(
         self, worker: int
@@ -69,6 +115,7 @@ class HybridEngine(BaseEngine):
             force_cache_fraction=self.force_cache_fraction,
             cache=self.cache_config,
             warm_start=self._dep_partitions.get(worker),
+            tp=self._tp_inputs(worker) if self.tensor_parallel else None,
         )
         self._dep_partitions[worker] = result
         prep = result.modeled_seconds + _PROBE_SECONDS

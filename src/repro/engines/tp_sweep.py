@@ -1,0 +1,141 @@
+"""Skew x hidden-dim sweep locating the hybrid <-> tensor-parallel crossover.
+
+One grid cell fixes a ``scaled_social`` hub exponent (degree skew) and a
+hidden width, then charges an epoch for every strategy: the three pure
+dependency engines, the pure tensor-parallel engine, and the four-way
+hybrid (``hybrid4``).  The interesting diagonal is NeutronTP's claim:
+dense slice transposes are volume-balanced and framing-free, so they
+overtake the per-vertex exchange exactly where skew concentrates sends
+on hub owners *and* wide hiddens make the straggler's bytes expensive --
+while at narrow hiddens the all-to-all's fixed per-peer latency floor
+loses to the (overlappable) sparse exchange everywhere.
+
+Used by ``repro tp-sweep`` and ``benchmarks/bench_tp.py``; the catalog's
+``social-flat`` / ``social-skewed`` entries pin the two endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.model import GNNModel
+from repro.graph import generators
+from repro.training.prep import prepare_graph
+
+#: Default grid: the ``social-flat`` / ``social-skewed`` endpoints plus
+#: ``social-large``'s midpoint skew, against narrow / medium / wide
+#: hiddens.  The crossover sits on the wide-hidden column.
+DEFAULT_EXPONENTS = (0.1, 0.85, 1.2)
+DEFAULT_HIDDENS = (16, 64, 256)
+
+PURE_THREE_WAY = ("depcache", "depcomm", "hybrid")
+STRATEGIES = PURE_THREE_WAY + ("tp", "hybrid4")
+
+
+def run_tp_sweep(
+    exponents: Sequence[float] = DEFAULT_EXPONENTS,
+    hiddens: Sequence[int] = DEFAULT_HIDDENS,
+    *,
+    num_vertices: int = 3072,
+    avg_degree: float = 16.0,
+    num_communities: int = 8,
+    feature_dim: int = 64,
+    num_labels: int = 16,
+    num_layers: int = 2,
+    arch: str = "gcn",
+    cluster: Optional[ClusterSpec] = None,
+    seed: int = 0,
+) -> Dict:
+    """Charge every (exponent, hidden) cell for all five strategies.
+
+    Returns ``{"rows": [...], "crossover": {...}}``.  Each row carries
+    the per-strategy modeled epoch seconds, the best pure three-way
+    time, and ``hybrid4``'s chosen ``tp_layers``.  ``crossover``
+    summarises where tensor parallelism wins: the cells whose four-way
+    plan beats the best pure three-way plan, and the cells where even
+    the pure TP engine does.
+    """
+    from repro.engines import make_engine
+
+    cluster = cluster or ClusterSpec.ecs(16)
+    rows: List[Dict] = []
+    for exponent in exponents:
+        graph = generators.scaled_social(
+            num_vertices,
+            avg_degree=avg_degree,
+            num_communities=num_communities,
+            hub_exponent=exponent,
+            seed=seed,
+        )
+        generators.attach_features(
+            graph, feature_dim, num_labels, seed=seed + 1, class_signal=0.6
+        )
+        graph.name = f"social-exp{exponent:g}"
+        prepared = prepare_graph(graph, arch)
+        for hidden in hiddens:
+            model = GNNModel.build(
+                arch, feature_dim, hidden, num_labels,
+                num_layers=num_layers, seed=seed,
+            )
+            times: Dict[str, float] = {}
+            tp_layers: List[bool] = []
+            for strategy in STRATEGIES:
+                engine = make_engine(strategy, prepared, model, cluster)
+                times[strategy] = engine.charge_epoch()
+                if strategy == "hybrid4":
+                    tp_layers = list(engine.plan().tp_layers)
+            best_three = min(times[name] for name in PURE_THREE_WAY)
+            rows.append({
+                "hub_exponent": exponent,
+                "hidden": hidden,
+                "times_s": times,
+                "best_three_s": best_three,
+                "tp_layers": tp_layers,
+                "four_way_wins": times["hybrid4"] < best_three,
+                "tp_wins": times["tp"] < best_three,
+            })
+    return {
+        "num_vertices": num_vertices,
+        "avg_degree": avg_degree,
+        "num_workers": cluster.num_workers,
+        "feature_dim": feature_dim,
+        "num_layers": num_layers,
+        "arch": arch,
+        "exponents": list(exponents),
+        "hiddens": list(hiddens),
+        "rows": rows,
+        "crossover": _summarise_crossover(rows),
+    }
+
+
+def _summarise_crossover(rows: List[Dict]) -> Dict:
+    """Locate the flip region and the two corner verdicts.
+
+    ``flattest`` / ``most_skewed`` order cells by (exponent, hidden):
+    the flattest cell is the narrow-hidden low-skew corner, the most
+    skewed the wide-hidden high-skew corner -- the two ends of the
+    sweep's diagonal.
+    """
+    ordered = sorted(rows, key=lambda r: (r["hub_exponent"], r["hidden"]))
+    flattest = ordered[0]
+    most_skewed = ordered[-1]
+    return {
+        "four_way_win_cells": [
+            [r["hub_exponent"], r["hidden"]] for r in ordered
+            if r["four_way_wins"]
+        ],
+        "tp_win_cells": [
+            [r["hub_exponent"], r["hidden"]] for r in ordered if r["tp_wins"]
+        ],
+        "flattest": {
+            "cell": [flattest["hub_exponent"], flattest["hidden"]],
+            "tp_wins": flattest["tp_wins"],
+            "four_way_wins": flattest["four_way_wins"],
+        },
+        "most_skewed": {
+            "cell": [most_skewed["hub_exponent"], most_skewed["hidden"]],
+            "tp_wins": most_skewed["tp_wins"],
+            "four_way_wins": most_skewed["four_way_wins"],
+        },
+    }

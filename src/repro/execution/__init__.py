@@ -49,6 +49,12 @@ from repro.execution.program import (
     compile_program,
     layer_compute_specs,
 )
+from repro.execution.tp import (
+    FeatureSliceAllToAllStep,
+    build_tp_layer_program,
+    slice_widths,
+    tp_exchange_volumes,
+)
 
 __all__ = [
     "BACKWARD_MULTIPLIER",
@@ -58,6 +64,7 @@ __all__ = [
     "EnginePlan",
     "EpochReport",
     "ExchangePhase",
+    "FeatureSliceAllToAllStep",
     "GatherByDstStep",
     "GetFromDepNbrStep",
     "LayerAccountant",
@@ -73,6 +80,7 @@ __all__ = [
     "account_memory",
     "build_engine_plan",
     "build_historical_caches",
+    "build_tp_layer_program",
     "compile_program",
     "default_passes",
     "describe_program",
@@ -81,4 +89,6 @@ __all__ = [
     "render_program",
     "run_closure_forward",
     "run_passes",
+    "slice_widths",
+    "tp_exchange_volumes",
 ]

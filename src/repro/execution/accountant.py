@@ -132,6 +132,10 @@ class LayerAccountant:
     # -- layer charges -------------------------------------------------
     def charge_forward_layer(self, plan: EnginePlan, l: int) -> ExchangeStats:
         engine = self.engine
+        if plan.is_tp_layer(l):
+            from repro.execution.tp import tp_charge_forward_layer
+
+            return tp_charge_forward_layer(self, plan, l)
         volumes = engine._forward_volumes(plan, l)
         chunk_compute, local_compute, dense = engine._layer_compute_split(plan, l)
         stats = run_exchange(
@@ -156,7 +160,11 @@ class LayerAccountant:
         program = self.engine.program_
         if program is None or plan is not self.engine.plan_:
             return None
-        fold = program.layers[l - 1].exchange.fold_dense
+        lp = program.layers[l - 1]
+        # TP layers fold the dense into the unslice (post) exchange --
+        # the phase whose window precedes the owned-rows VertexForward.
+        ex = lp.post_exchange if lp.post_exchange is not None else lp.exchange
+        fold = ex.fold_dense
         if fold is None or not fold.any():
             return None
         return fold
@@ -226,6 +234,11 @@ class LayerAccountant:
 
     def charge_backward_layer(self, plan: EnginePlan, l: int) -> None:
         engine = self.engine
+        if plan.is_tp_layer(l):
+            from repro.execution.tp import tp_charge_backward_layer
+
+            tp_charge_backward_layer(self, plan, l)
+            return
         chunk_compute, local_compute, dense = engine._layer_compute_split(plan, l)
         compute = (
             chunk_compute.sum(axis=0) + local_compute + dense
@@ -356,12 +369,17 @@ def account_memory(engine, plan: EnginePlan) -> None:
         tape = host if engine.tape_location == "host" else device
         # Features resident for every locally available layer-1
         # input (stale-cached rows are accounted as cache entries).
-        feat_rows = (
-            plan.blocks[0][w].num_inputs
-            - len(plan.comm_ids[0][w])
-            - len(plan.stale_deps[0][w])
-        )
-        tape.allocate(feat_rows * engine.dims[0] * 4, "features")
+        if plan.is_tp_layer(1):
+            from repro.execution.tp import tp_feature_bytes
+
+            tape.allocate(tp_feature_bytes(engine, plan, w), "features")
+        else:
+            feat_rows = (
+                plan.blocks[0][w].num_inputs
+                - len(plan.comm_ids[0][w])
+                - len(plan.stale_deps[0][w])
+            )
+            tape.allocate(feat_rows * engine.dims[0] * 4, "features")
         # Historical-embedding entries live in host memory alongside
         # the DepCache closures they share the budget with.
         cache_bytes = sum(
@@ -372,6 +390,14 @@ def account_memory(engine, plan: EnginePlan) -> None:
             host.allocate(cache_bytes, CACHE_MEMORY_LABEL)
         peak_chunk = 0
         for l in range(1, engine.num_layers + 1):
+            if plan.is_tp_layer(l):
+                from repro.execution.tp import tp_account_layer_memory
+
+                peak_chunk = max(
+                    peak_chunk,
+                    tp_account_layer_memory(engine, plan, l, w, tape, device),
+                )
+                continue
             block = plan.blocks[l - 1][w]
             layer = engine.model.layer(l)
             # Activations (inputs + outputs) live on the tape until

@@ -193,7 +193,18 @@ class LayerExecutor:
         for l in range(1, engine.num_layers + 1):
             engine._charge_forward_layer(plan, l)
             layer = engine.model.layer(l)
+            tp = plan.is_tp_layer(l)
             for w in range(m):
+                if tp and w > 0:
+                    # Tensor-parallel layer: the recombined slices ARE
+                    # the full-width rows, so the full-graph block is
+                    # computed once (worker 0) and aliased -- bit-
+                    # identical to each worker's slice share by
+                    # construction, with no redundant flops.
+                    h_values[l][w] = h_values[l][0]
+                    in_tensors[l - 1][w] = in_tensors[l - 1][0]
+                    out_tensors[l - 1][w] = out_tensors[l - 1][0]
+                    continue
                 block = plan.blocks[l - 1][w]
                 rows = engine._gather_inputs(plan, h_values, l, w, block)
                 h_in = Tensor(rows, requires_grad=training)
@@ -310,6 +321,7 @@ class LayerExecutor:
             [None] * m for _ in range(engine.num_layers)
         ]
         for l in range(engine.num_layers, 0, -1):
+            tp = plan.is_tp_layer(l)
             for w in range(m):
                 if l == engine.num_layers:
                     if loss_tensors[w] is not None:
@@ -319,10 +331,17 @@ class LayerExecutor:
                     if seed is None:
                         continue
                     out_tensors[l - 1][w].backward(seed)
-                if l > 1:
+                if l > 1 and not tp:
                     grad_in = in_tensors[l - 1][w].grad
                     if grad_in is not None:
                         engine._route_input_grads(plan, grad_acc, l, w, grad_in)
+            if l > 1 and tp:
+                # TP layer: tensors are aliased across workers, so the
+                # shared input grad (all per-worker loss/seed backwards
+                # have accumulated into it by now) routes exactly once.
+                grad_in = in_tensors[l - 1][0].grad
+                if grad_in is not None:
+                    engine._route_input_grads(plan, grad_acc, l, 0, grad_in)
             engine._charge_backward_layer(plan, l)
             engine._sync()
 
@@ -365,6 +384,13 @@ class LayerExecutor:
         engine = self.engine
         if len(positions) == 0:
             return
+        if plan.is_tp_layer(layer_idx + 1):
+            # The TP layer's output tensor is computed once (worker 0)
+            # and aliased; every worker's compute set is the identical
+            # full-vertex ordering, so positions transfer unchanged and
+            # all gradient contributions accumulate into worker 0's
+            # seed for the single shared backward.
+            worker = 0
         acc = grad_acc[layer_idx][worker]
         if acc is None:
             shape = (

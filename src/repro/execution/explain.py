@@ -27,20 +27,27 @@ def describe_program(engine) -> Dict[str, object]:
     layers = []
     for lp in program.layers:
         ex = lp.exchange
+        # Tensor-parallel layers place the dense work after the unslice
+        # transpose, so fold/chunk metadata lives on ``post_exchange``.
+        fold_ex = lp.post_exchange if lp.post_exchange is not None else ex
         workers = []
         for wp in lp.workers:
             workers.append({
                 "worker": wp.worker,
                 "steps": [_step_dict(s) for s in wp.steps],
-                "recv_chunks": ex.recv_chunks(wp.worker),
-                "fold_dense": bool(ex.fold_dense[wp.worker]),
+                "recv_chunks": fold_ex.recv_chunks(wp.worker),
+                "fold_dense": bool(fold_ex.fold_dense[wp.worker]),
                 "num_stale_rows": (
                     0 if wp.stale_rows is None else int(len(wp.stale_rows))
                 ),
             })
         layers.append({
             "layer": lp.layer,
+            "tensor_parallel": lp.is_tp,
             "exchange_bytes": ex.total_bytes(),
+            "post_exchange_bytes": (
+                lp.post_exchange.total_bytes() if lp.is_tp else 0
+            ),
             "refresh_entries": int(ex.refresh_entries),
             "bytes_per_message": float(ex.bytes_per_message),
             "workers": workers,
@@ -67,6 +74,28 @@ def render_program(engine) -> str:
         "passes: " + (", ".join(desc["passes"]) if desc["passes"] else "(none)")
     )
     for layer in desc["layers"]:
+        if layer.get("tensor_parallel"):
+            lines.append(
+                f"layer {layer['layer']}: tensor-parallel, "
+                f"slice exchange {layer['exchange_bytes']} B, "
+                f"unslice exchange {layer['post_exchange_bytes']} B"
+            )
+            for wk in layer["workers"]:
+                sl = wk["steps"][0]
+                edge = wk["steps"][2]
+                vertex = wk["steps"][-1]
+                flags = ["fold-dense"] if wk["fold_dense"] else []
+                suffix = f"  [{', '.join(flags)}]" if flags else ""
+                lines.append(
+                    f"  worker {wk['worker']}: "
+                    f"SliceAllToAll(n={sl['num_vertices']} "
+                    f"slice={sl['slice_dim']}/{sl['dim']}) -> "
+                    f"Scatter/Edge/Gather(edges={edge['num_edges']}) -> "
+                    f"UnsliceAllToAll -> "
+                    f"VertexForward(out={vertex['num_outputs']})"
+                    f" chunks={wk['recv_chunks']}{suffix}"
+                )
+            continue
         lines.append(
             f"layer {layer['layer']}: exchange {layer['exchange_bytes']} B"
             + (

@@ -47,9 +47,13 @@ class OverlapExchangePass(ProgramPass):
 
     def run(self, program: Program, engine) -> None:
         for lp in program.layers:
+            # For a tensor-parallel layer the dense work runs after the
+            # *unslice* transpose, so that is the window that can absorb
+            # it; the pre-aggregation slice exchange cannot.
+            ex = lp.post_exchange if lp.post_exchange is not None else lp.exchange
             for w in range(program.num_workers):
-                if lp.exchange.recv_chunks(w) >= 2:
-                    lp.exchange.fold_dense[w] = True
+                if ex.recv_chunks(w) >= 2:
+                    ex.fold_dense[w] = True
 
 
 def default_passes(engine) -> List[ProgramPass]:

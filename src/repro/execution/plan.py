@@ -70,6 +70,15 @@ class EnginePlan:
     # (charged only on refresh epochs); empty without a cache config.
     stale_deps: List[List[np.ndarray]] = field(default_factory=list)
     refresh_exchanges: List[MirrorExchange] = field(default_factory=list)
+    # Fourth strategy (NeutronTP): tp_layers[l-1] marks layer ``l`` as
+    # tensor-parallel -- full-graph aggregation on feature slices with
+    # slice-transpose all-to-alls instead of a mirror exchange.  Empty
+    # means no TP anywhere (every pre-existing plan).
+    tp_layers: List[bool] = field(default_factory=list)
+
+    def is_tp_layer(self, l: int) -> bool:
+        """Whether layer ``l`` (1-based) runs tensor-parallel."""
+        return bool(self.tp_layers) and self.tp_layers[l - 1]
 
     def total_comm_vertices(self) -> int:
         return sum(ex.total_vertices for ex in self.exchanges)
@@ -122,23 +131,59 @@ def build_engine_plan(engine) -> EnginePlan:
             decisions[l][w] = communicated[l]
             stale_decisions[l][w] = stale[l]
 
+    # Engines exposing ``_choose_tp_layers`` (the four-way greedy, the
+    # pure-TP engine) may flip whole layers to tensor parallelism.
+    chooser = getattr(engine, "_choose_tp_layers", None)
+    tp_layers = [bool(f) for f in chooser()] if chooser is not None else []
+    if tp_layers and len(tp_layers) != L:
+        raise ValueError(
+            f"_choose_tp_layers returned {len(tp_layers)} flags "
+            f"for {L} layers"
+        )
+    any_tp = any(tp_layers)
+
     compute_sets: List[List[np.ndarray]] = [[None] * m for _ in range(L)]
     comm_ids: List[List[np.ndarray]] = [[None] * m for _ in range(L)]
     stale_ids: List[List[np.ndarray]] = [[None] * m for _ in range(L)]
     blocks: List[List[LayerBlock]] = [[None] * m for _ in range(L)]
+    all_vertices = np.arange(graph.num_vertices, dtype=np.int64)
+    # Full-graph blocks are identical for every worker of a TP layer;
+    # build each once and share the object.
+    full_blocks: Dict[int, LayerBlock] = {}
     for w in range(m):
         owned = engine.partitioning.part(w)
         need = owned
         for l in range(L, 0, -1):
+            if any_tp and tp_layers[l - 1]:
+                # Tensor-parallel layer: every worker aggregates the
+                # full edge set on its feature slice, then the unslice
+                # transpose leaves full-width outputs at their owners
+                # only -- so the layer needs no dependency decisions
+                # and resets the downward closure to the owned set.
+                if l not in full_blocks:
+                    full_blocks[l] = build_block(graph, all_vertices, l)
+                compute_sets[l - 1][w] = all_vertices
+                blocks[l - 1][w] = full_blocks[l]
+                comm_ids[l - 1][w] = empty
+                stale_ids[l - 1][w] = empty
+                need = owned
+                continue
             compute_sets[l - 1][w] = need
             block = build_block(graph, need, l)
             blocks[l - 1][w] = block
             remote_inputs = block.input_vertices[
                 engine.assignment[block.input_vertices] != w
             ]
-            comm = np.intersect1d(remote_inputs, decisions[l - 1][w])
-            comm_ids[l - 1][w] = comm
             stale = np.intersect1d(remote_inputs, stale_decisions[l - 1][w])
+            if any_tp and l >= 2 and tp_layers[l - 2]:
+                # The input layer is tensor-parallel: its outputs exist
+                # full-width only at their owners, so recompute is
+                # impossible and every remote input not served stale is
+                # fetched, regardless of the per-vertex decisions.
+                comm = np.setdiff1d(remote_inputs, stale)
+            else:
+                comm = np.intersect1d(remote_inputs, decisions[l - 1][w])
+            comm_ids[l - 1][w] = comm
             stale_ids[l - 1][w] = stale
             local_remote = np.setdiff1d(
                 np.setdiff1d(remote_inputs, comm), stale
@@ -161,6 +206,7 @@ def build_engine_plan(engine) -> EnginePlan:
         preprocessing_s=preprocessing,
         stale_deps=stale_ids,
         refresh_exchanges=refresh_exchanges,
+        tp_layers=tp_layers,
     )
 
 

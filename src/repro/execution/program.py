@@ -151,11 +151,23 @@ class WorkerLayerProgram:
 
 @dataclass
 class LayerProgram:
-    """One layer of the program: an exchange phase + per-worker steps."""
+    """One layer of the program: an exchange phase + per-worker steps.
+
+    Tensor-parallel layers carry *two* exchange phases: ``exchange``
+    slices the input rows across workers before aggregation and
+    ``post_exchange`` transposes the slices back to full-width rows at
+    their owners afterwards.  ``post_exchange is None`` for every
+    mirror-exchange (DepComm/DepCache/CACHED) layer.
+    """
 
     layer: int
     exchange: ExchangePhase
     workers: List[WorkerLayerProgram]
+    post_exchange: Optional[ExchangePhase] = None
+
+    @property
+    def is_tp(self) -> bool:
+        return self.post_exchange is not None
 
     @property
     def compute_specs(self) -> List[ComputeSpec]:
@@ -266,6 +278,11 @@ def compile_program(engine, plan: EnginePlan) -> Program:
 
     layers: List[LayerProgram] = []
     for l in range(1, L + 1):
+        if plan.is_tp_layer(l):
+            from repro.execution.tp import build_tp_layer_program
+
+            layers.append(build_tp_layer_program(engine, plan, l))
+            continue
         layer = engine.model.layer(l)
         specs = layer_compute_specs(engine, plan, l)
         refresh_ex = plan.refresh_exchanges[l - 1]

@@ -55,6 +55,8 @@ REGISTRY: Dict[str, tuple] = {
                           "sampling fanout/batch ablation"),
     "ablation_probe_error": ("bench_ablation_probe_error.py",
                              "Hybrid robustness to probe error"),
+    "tp": ("bench_tp.py",
+           "Tensor-parallel crossover: skew x hidden-dim sweep"),
 }
 
 

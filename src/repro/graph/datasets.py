@@ -127,6 +127,24 @@ DATASETS: Dict[str, DatasetSpec] = {
             paper_vertices="-", paper_edges="-", paper_avg_degree=16.0,
             paper_num_vertices=40_960,
         ),
+        # Degree-skew endpoints of the scaled-social family, sized for
+        # the tensor-parallel crossover sweep (`repro tp-sweep`):
+        # near-uniform sources vs strongly Zipf-skewed hubs, otherwise
+        # identical, so only partition imbalance separates them.
+        DatasetSpec(
+            name="social-flat", kind="social", num_vertices=3072,
+            avg_degree=16.0, feature_dim=64, num_labels=16, hidden_dim=32,
+            num_communities=8, hub_exponent=0.1,
+            paper_vertices="-", paper_edges="-", paper_avg_degree=16.0,
+            paper_num_vertices=3_072,
+        ),
+        DatasetSpec(
+            name="social-skewed", kind="social", num_vertices=3072,
+            avg_degree=16.0, feature_dim=64, num_labels=16, hidden_dim=32,
+            num_communities=8, hub_exponent=1.2,
+            paper_vertices="-", paper_edges="-", paper_avg_degree=16.0,
+            paper_num_vertices=3_072,
+        ),
         DatasetSpec(
             name="cora", kind="citation", num_vertices=1800, avg_degree=2.0,
             feature_dim=1000, num_labels=7, hidden_dim=128,

@@ -1,0 +1,230 @@
+"""Four-way greedy properties: when does tensor parallelism get picked.
+
+Three contracts from the issue:
+
+- TP selection is *monotone in degree skew* at fixed hidden dim --
+  concentrating more of the communicated rows on the heaviest sender
+  only ever turns the vote on, never off (the straggler penalty grows);
+- TP selection is *monotone against the hidden dim* at fixed skew --
+  at fixed per-worker prices, widening the rows only inflates the
+  sender-straggler bytes, and end-to-end a wider hidden never unselects
+  a layer the narrower model selected;
+- with ``t_tp = inf`` (``cost_scale=inf`` on the TP inputs) the
+  four-way greedy is *bit-identical* to the three-way partitioner.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.model import GNNModel
+from repro.costmodel.partitioner import (
+    DependencyPartition,
+    partition_dependencies,
+    vote_tp_layers,
+)
+from repro.costmodel.probe import probe_constants
+from repro.engines import make_engine
+from repro.graph import generators
+from repro.partition.chunk import chunk_partition
+from repro.training.prep import prepare_graph
+
+NUM_IDS = 64
+
+
+@pytest.fixture(scope="module")
+def constants():
+    model = GNNModel.build("gcn", 8, 8, 4, num_layers=2, seed=0)
+    return probe_constants(ClusterSpec.ecs(4), model)
+
+
+def _partitions(num_workers, comm_sets, tp_cost, three_way_cost):
+    empty = np.empty(0, dtype=np.int64)
+    parts = {}
+    for w in range(num_workers):
+        comm = np.asarray(sorted(comm_sets[w]), dtype=np.int64)
+        parts[w] = DependencyPartition(
+            worker=w,
+            cached=[empty],
+            communicated=[comm],
+            tp_cost_s=[tp_cost],
+            three_way_cost_s=[three_way_cost],
+        )
+    return parts
+
+
+@st.composite
+def vote_cases(draw):
+    num_workers = draw(st.integers(min_value=2, max_value=6))
+    comm_sets = [
+        draw(st.sets(st.integers(0, NUM_IDS - 1), min_size=1, max_size=24))
+        for _ in range(num_workers)
+    ]
+    assignment = np.asarray(
+        draw(
+            st.lists(
+                st.integers(0, num_workers - 1),
+                min_size=NUM_IDS, max_size=NUM_IDS,
+            )
+        ),
+        dtype=np.int64,
+    )
+    tp_cost = draw(st.floats(1e-6, 1e-2))
+    three_way_cost = draw(st.floats(1e-6, 1e-2))
+    return num_workers, comm_sets, assignment, tp_cost, three_way_cost
+
+
+class TestVoteFunction:
+    @settings(max_examples=60, deadline=None)
+    @given(case=vote_cases(), hidden=st.sampled_from([8, 32, 128]))
+    def test_skew_monotone(self, case, hidden):
+        """Reassigning a communicated row to the heaviest sender never
+        turns the TP vote off: the straggler excess only grows."""
+        num_workers, comm_sets, assignment, tp_cost, tw_cost = case
+        parts = _partitions(num_workers, comm_sets, tp_cost, tw_cost)
+        all_comm = np.concatenate(
+            [p.communicated[0] for p in parts.values()]
+        )
+        send_rows = np.bincount(assignment[all_comm], minlength=num_workers)
+        heaviest = int(send_rows.argmax())
+        movable = all_comm[assignment[all_comm] != heaviest]
+        if len(movable) == 0:
+            return  # already fully concentrated
+        skewed = assignment.copy()
+        skewed[movable[0]] = heaviest
+        dims = [hidden, 4]
+        flat_vote = vote_tp_layers(
+            parts, assignment, dims, self._constants, num_workers
+        )
+        skewed_vote = vote_tp_layers(
+            parts, skewed, dims, self._constants, num_workers
+        )
+        assert skewed_vote[0] >= flat_vote[0]
+
+    @settings(max_examples=60, deadline=None)
+    @given(case=vote_cases(), hiddens=st.tuples(
+        st.integers(1, 256), st.integers(1, 256)))
+    def test_hidden_monotone(self, case, hiddens):
+        """At fixed per-worker prices a wider hidden dim never turns
+        the TP vote off: the straggler bytes scale with the row width."""
+        num_workers, comm_sets, assignment, tp_cost, tw_cost = case
+        parts = _partitions(num_workers, comm_sets, tp_cost, tw_cost)
+        narrow, wide = sorted(hiddens)
+        narrow_vote = vote_tp_layers(
+            parts, assignment, [narrow, 4], self._constants, num_workers
+        )
+        wide_vote = vote_tp_layers(
+            parts, assignment, [wide, 4], self._constants, num_workers
+        )
+        assert wide_vote[0] >= narrow_vote[0]
+
+    @pytest.fixture(autouse=True)
+    def _store_constants(self, constants):
+        self._constants = constants
+
+    def test_empty_partitions(self, constants):
+        assert vote_tp_layers({}, np.zeros(4, dtype=np.int64),
+                              [8], constants, 2) == []
+
+    def test_no_comm_rows_never_flips(self, constants):
+        parts = _partitions(2, [set(), set()], 1e-6, 1.0)
+        # Cheap TP, expensive three-way -- but nothing is communicated,
+        # so there is no exchange to replace.
+        assignment = np.zeros(NUM_IDS, dtype=np.int64)
+        assert vote_tp_layers(parts, assignment, [8], constants, 2) == [
+            False
+        ]
+
+    def test_inf_tp_never_flips(self, constants):
+        parts = _partitions(2, [{1}, {2}], math.inf, 1.0)
+        assignment = np.zeros(NUM_IDS, dtype=np.int64)
+        assert vote_tp_layers(parts, assignment, [8], constants, 2) == [
+            False
+        ]
+
+
+class TestInfDisablesTP:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        n=st.integers(32, 72),
+        hidden=st.sampled_from([4, 16, 64]),
+        workers=st.integers(2, 4),
+        seed=st.integers(0, 1000),
+    )
+    def test_inf_cost_scale_is_bit_identical_to_three_way(
+        self, constants, n, hidden, workers, seed
+    ):
+        from repro.costmodel.costs import TensorParallelCostInputs
+
+        g = generators.community(n, 3, avg_degree=6.0, seed=seed)
+        generators.attach_features(g, 8, 3, seed=seed + 1)
+        graph = prepare_graph(g, "gcn")
+        partitioning = chunk_partition(graph, workers)
+        dims = [graph.feature_dim, hidden, graph.num_classes]
+        owned = partitioning.part(0)
+        tp_inputs = TensorParallelCostInputs(
+            num_workers=workers,
+            num_vertices=graph.num_vertices,
+            num_owned=len(owned),
+            total_edges=graph.num_edges,
+            owned_in_edges=int(
+                (partitioning.assignment[graph.dst] == 0).sum()
+            ),
+            cost_scale=math.inf,
+        )
+        three_way = partition_dependencies(
+            graph, partitioning, 0, dims, constants,
+            memory_limit_bytes=1 << 20,
+        )
+        four_way = partition_dependencies(
+            graph, partitioning, 0, dims, constants,
+            memory_limit_bytes=1 << 20, tp=tp_inputs,
+        )
+        assert four_way.tp_layers == [False] * (len(dims) - 1)
+        assert all(math.isinf(c) for c in four_way.tp_cost_s)
+        for l in range(len(dims) - 1):
+            assert np.array_equal(three_way.cached[l], four_way.cached[l])
+            assert np.array_equal(
+                three_way.communicated[l], four_way.communicated[l]
+            )
+            assert np.array_equal(
+                three_way.stale_cached[l], four_way.stale_cached[l]
+            )
+
+
+class TestEndToEndMonotone:
+    """Seeded engine-level chains on the scaled-social family: the
+    four-way plan's flip set only grows with skew (at fixed hidden) and
+    with hidden width (at fixed skew)."""
+
+    CLUSTER = ClusterSpec.ecs(16)
+
+    @staticmethod
+    def _flips(exponent: float, hidden: int):
+        g = generators.scaled_social(
+            1024, avg_degree=16.0, num_communities=8,
+            hub_exponent=exponent, seed=0,
+        )
+        generators.attach_features(g, 64, 16, seed=1, class_signal=0.6)
+        graph = prepare_graph(g, "gcn")
+        model = GNNModel.build("gcn", 64, hidden, 16, num_layers=2, seed=0)
+        engine = make_engine(
+            "hybrid4", graph, model, TestEndToEndMonotone.CLUSTER
+        )
+        return engine.plan().tp_layers
+
+    def test_selection_monotone_in_skew(self):
+        chain = [self._flips(exponent, 256)
+                 for exponent in (0.1, 0.85, 1.2)]
+        for flatter, steeper in zip(chain, chain[1:]):
+            assert all(s or not f for f, s in zip(flatter, steeper)), chain
+        assert any(chain[-1]), chain  # the skewed end does flip
+
+    def test_selection_monotone_in_hidden(self):
+        chain = [self._flips(1.2, hidden) for hidden in (16, 64, 256)]
+        for narrower, wider in zip(chain, chain[1:]):
+            assert all(w or not n for n, w in zip(narrower, wider)), chain
+        assert any(chain[-1]), chain  # the wide end does flip

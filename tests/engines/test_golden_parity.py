@@ -36,8 +36,14 @@ def _graph():
     return prepare_graph(g, "gcn")
 
 
-def build_training_payload():
-    """Seeded 2-worker hybrid run -> losses + reports + chrome trace."""
+def build_training_payload(tensor_parallel: bool = False):
+    """Seeded 2-worker hybrid run -> losses + reports + chrome trace.
+
+    ``tensor_parallel=True`` enables the four-way greedy; on this tiny
+    2-worker graph the slice all-to-all is never cheapest, so the
+    decisions -- and therefore the whole payload -- must stay
+    bit-identical to the three-way golden.
+    """
     from repro.cache import CacheConfig
     from repro.cluster.spec import ClusterSpec
     from repro.cluster.trace import timeline_to_chrome_trace
@@ -51,6 +57,7 @@ def build_training_payload():
         graph, model, ClusterSpec.ecs(2),
         record_timeline=True,
         cache_config=CacheConfig(tau=2.0),
+        tensor_parallel=tensor_parallel,
     )
     optimizer = optim.Adam(model.parameters(), lr=0.01)
     losses, reports = [], []
@@ -142,6 +149,13 @@ class TestGoldenParity:
 
     def test_serving_run_matches_golden(self):
         _assert_matches(build_serving_payload(), SERVE_GOLDEN)
+
+    def test_four_way_greedy_matches_three_way_golden(self):
+        """Enabling the TP option must not perturb three-way decisions
+        where the slice all-to-all is never cheapest: the four-way run
+        reproduces the pre-TP golden bit for bit."""
+        _assert_matches(build_training_payload(tensor_parallel=True),
+                        TRAIN_GOLDEN)
 
 
 def main(argv):

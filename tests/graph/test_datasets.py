@@ -13,9 +13,12 @@ class TestCatalog:
             "wiki", "twitter", "cora", "citeseer", "pubmed",
         }
         assert expected <= set(DATASETS)
-        # Non-Table-2 entries are synthetic scale-up graphs for the
-        # sampling benchmarks, not paper rows.
-        assert set(DATASETS) - expected == {"social-large"}
+        # Non-Table-2 entries are synthetic graphs for the sampling
+        # benchmarks (social-large) and the tensor-parallel crossover
+        # sweep's degree-skew endpoints, not paper rows.
+        assert set(DATASETS) - expected == {
+            "social-large", "social-flat", "social-skewed"
+        }
 
     def test_specs_have_paper_fields(self):
         for spec in DATASETS.values():

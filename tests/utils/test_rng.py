@@ -6,6 +6,7 @@ from pathlib import Path
 import numpy as np
 
 import repro.engines.sampling
+import repro.engines.tensor_parallel
 import repro.resilience
 import repro.sampling
 import repro.serving
@@ -85,6 +86,8 @@ class TestNoDirectRngInScannedPackages:
         ("resilience", Path(repro.resilience.__file__).parent),
         ("sampling", Path(repro.sampling.__file__).parent),
         ("engines/sampling.py", Path(repro.engines.sampling.__file__)),
+        ("engines/tensor_parallel.py",
+         Path(repro.engines.tensor_parallel.__file__)),
         ("serving", Path(repro.serving.__file__).parent),
     ]
 
