@@ -1,0 +1,396 @@
+"""Hot-path wall-clock trajectory: vectorized sparse path vs the seed.
+
+Unlike the ``bench_fig*`` modules (which report *modeled* cluster
+seconds), this one measures **real host wall-clock** of the two hot
+loops the vectorization PR rewrote:
+
+- ``epoch_s``: one sampled-training ``charge_epoch`` -- sampling,
+  closure reuse, block building, compile, and accounting for every
+  mini-batch round (the data-management epoch);
+- ``compile_s``: one full-graph hybrid plan compile -- k-hop closures,
+  block building, and program construction.
+
+The before/after comparison is built in: ``reference_mode()``
+reinstalls the pre-vectorization implementations (per-vertex slice
+loops, ``searchsorted`` lookups, ``np.unique`` unions,
+full-candidate sampler ranking, ``intersect1d``/``setdiff1d`` set
+algebra), kept verbatim from the seed revision, and every measurement
+runs once per mode on the same graph and seeds.  The headline assert:
+the vectorized epoch is at least ``--min-speedup`` (default 5x) faster
+than the reference on the largest generator in the ladder.
+
+Run ``python benchmarks/bench_hotpath.py --json BENCH_hotpath.json``
+for the full ladder up to ``social-large``, or ``--smoke`` for the CI
+configuration (small graphs, 2x floor).
+"""
+
+import argparse
+import contextlib
+import gc
+import time
+
+import numpy as np
+
+from common import wallclock, write_json
+from repro.cluster.spec import ClusterSpec
+from repro.core import blocks as B
+from repro.costmodel import costs as CO
+from repro.core.model import GNNModel
+from repro.engines import HybridEngine
+from repro.graph.adjacency import Adjacency
+from repro.graph.datasets import load_dataset
+from repro.sampling import closure as CL
+from repro.sampling import compile as C
+from repro.sampling import samplers as S
+from repro.sampling.engine import SampledTrainingEngine
+from repro.training.prep import prepare_graph
+from repro.utils.rng import hashed_uniforms
+
+DATASETS = ["cora", "reddit", "social-flat", "social-skewed", "social-large"]
+SMOKE_DATASETS = ["cora", "social-flat"]
+
+
+# ---------------------------------------------------------------------------
+# Pre-vectorization reference implementations, verbatim from the seed
+# revision.  ``reference_mode()`` swaps them in so "before" numbers are
+# measured by this same script on the same graphs and seeds.
+# ---------------------------------------------------------------------------
+
+def _select_ref(self, vertices):
+    vertices = np.asarray(vertices, dtype=np.int64)
+    if len(vertices) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    spans = [(self.indptr[v], self.indptr[v + 1]) for v in vertices]
+    return (
+        np.concatenate([self.key[lo:hi] for lo, hi in spans]),
+        np.concatenate([self.other[lo:hi] for lo, hi in spans]),
+        np.concatenate([self.edge_ids[lo:hi] for lo, hi in spans]),
+    )
+
+
+class _LookupRef:
+    def __init__(self, sorted_ids):
+        self.sorted_ids = sorted_ids
+
+    def __getitem__(self, ids):
+        pos = np.searchsorted(self.sorted_ids, ids)
+        if len(ids) and (
+            pos.max(initial=0) >= len(self.sorted_ids)
+            or not np.array_equal(self.sorted_ids[pos], ids)
+        ):
+            raise KeyError("id not present in block space")
+        return pos.astype(np.int64)
+
+
+def _position_lookup_ref(sorted_ids):
+    return _LookupRef(sorted_ids)
+
+
+def _mask_union_ref(num_vertices, *pieces):
+    if not pieces:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(pieces))
+
+
+def _space_ref(num_vertices, *pieces):
+    ids = _mask_union_ref(num_vertices, *pieces)
+    mask = np.zeros(num_vertices, dtype=bool)
+    mask[ids] = True
+    return ids, mask, _LookupRef(ids)
+
+
+def _sample_layer_ref(self, graph, frontier, fanout, layer, *,
+                      epoch, batch, num_seeds, legacy_rng=None):
+    if legacy_rng is not None:
+        return self._sample_layer_legacy(graph, frontier, fanout, legacy_rng)
+    dst, src, eids = self._candidates(graph, frontier)
+    if len(dst) == 0:
+        return S._EMPTY_LAYER
+    # Ranks EVERY candidate edge, not just the over-fanout groups.
+    r = hashed_uniforms(self.seed, "uniform", epoch, batch, layer, ids=eids)
+    keep = S._rank_within_group(dst, r) < fanout
+    return src[keep], dst[keep], eids[keep], None
+
+
+def _bottom_fetch_ref(engine, closure):
+    w = closure.worker
+    inputs = closure.blocks[0].input_vertices
+    remote = inputs[engine.assignment[inputs] != w]
+    covered = (
+        np.intersect1d(remote, closure.reused_srcs)
+        if len(closure.reused_srcs)
+        else C._EMPTY
+    )
+    rest = np.setdiff1d(remote, covered)
+    if engine.feature_cache is not None:
+        pinned = np.intersect1d(rest, engine.feature_cache.pinned_for(w))
+        fetch = np.setdiff1d(rest, pinned)
+    else:
+        pinned = C._EMPTY
+        fetch = rest
+    counts = {"remote": len(remote), "reused": len(covered),
+              "pinned": len(pinned), "fetch": len(fetch)}
+    return fetch, counts
+
+
+def _worker_spec_ref(engine, block, l, w, fetch, exchange):
+    m = engine.cluster.num_workers
+    w_layer = engine.model.layer(l)
+    chunk_edges = np.zeros(m, dtype=np.int64)
+    chunk_vertices = np.zeros(m, dtype=np.int64)
+    local_edges = 0
+    sparse_flops = 0.0
+    if block.num_edges:
+        sparse_flops = float(w_layer.sparse_flops(block))
+        if l == 1 and len(fetch):
+            received = np.isin(block.edge_src_global, fetch)
+            owners = engine.assignment[block.edge_src_global]
+            for j in range(m):
+                sel = received & (owners == j)
+                chunk_edges[j] = int(sel.sum())
+                chunk_vertices[j] = len(exchange.recv_ids.get((j, w), ()))
+            local_edges = int((~received).sum())
+        else:
+            local_edges = block.num_edges
+    return C.ComputeSpec(
+        sparse_flops=sparse_flops,
+        dense_flops=float(w_layer.dense_flops(block)),
+        num_edges=block.num_edges,
+        d_in=engine.dims[l - 1],
+        chunk_edges=chunk_edges,
+        chunk_vertices=chunk_vertices,
+        local_edges=local_edges,
+    )
+
+
+def _replace_ref(self, src, dst, eids, scales):
+    order = np.argsort(dst, kind="stable")
+    dst_sorted = dst[order]
+    self.vertex_ids, counts = np.unique(dst_sorted, return_counts=True)
+    self.indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    self.srcs = src[order]
+    self.eids = eids[order]
+    self.scales = None if scales is None else scales[order]
+
+
+def _t_r_ref(self, u, layer):
+    graph = self.graph
+    csc = graph.csc
+    cost = 0.0
+    new_edge_count = 0
+    memory = 0
+    new_vertices = []
+    frontier = np.asarray([u], dtype=np.int64)
+    for k in range(layer - 1, 0, -1):
+        rep = self.replicated[k]
+        fresh = frontier[~self.owned_mask[frontier] & ~rep[frontier]]
+        new_vertices.append(fresh)
+        if len(fresh):
+            _, sources, eids = csc.select(fresh)
+            edge_count = len(eids)
+            cost += self.mu * (
+                len(fresh) * self.constants.vertex_cost(k)
+                + edge_count * self.constants.edge_cost(k)
+            )
+            new_edge_count += edge_count
+            memory += len(fresh) * self.dims[k] * 4 + edge_count * 12
+            frontier = np.unique(sources)
+        else:
+            frontier = np.empty(0, dtype=np.int64)
+        if len(frontier) == 0:
+            break
+    rep0 = self.replicated[0]
+    fresh0 = (
+        frontier[~self.owned_mask[frontier] & ~rep0[frontier]]
+        if len(frontier)
+        else frontier
+    )
+    new_vertices.append(fresh0)
+    memory += len(fresh0) * self.dims[0] * 4
+    return CO.SubtreeMeasurement(
+        cost_s=cost,
+        new_vertices=new_vertices,
+        new_edge_count=new_edge_count,
+        memory_bytes=memory,
+    )
+
+
+_PATCHES = [
+    (Adjacency, "select", _select_ref),
+    (B, "_position_lookup", _position_lookup_ref),
+    (B, "_mask_union", _mask_union_ref),
+    (B, "_space", _space_ref),
+    (S.UniformFanoutSampler, "_sample_layer", _sample_layer_ref),
+    (C, "_bottom_fetch", _bottom_fetch_ref),
+    (C, "_worker_spec", _worker_spec_ref),
+    (CL.ReuseState, "replace", _replace_ref),
+    (CO.DependencyCostModel, "t_r", _t_r_ref),
+]
+
+
+@contextlib.contextmanager
+def reference_mode():
+    """Swap in the seed-revision hot-path implementations."""
+    saved = [(obj, name, getattr(obj, name)) for obj, name, _ in _PATCHES]
+    for obj, name, ref in _PATCHES:
+        setattr(obj, name, ref)
+    try:
+        yield
+    finally:
+        for obj, name, orig in saved:
+            setattr(obj, name, orig)
+
+
+# ---------------------------------------------------------------------------
+# Measurements.
+# ---------------------------------------------------------------------------
+
+def _graph(dataset):
+    return prepare_graph(load_dataset(dataset), "gcn")
+
+
+def _model(graph):
+    return GNNModel.gcn(graph.feature_dim, 64, graph.num_classes, seed=1)
+
+
+def measure_epoch(graph, repeats):
+    """Wall-clock of one sampled data-management epoch (``epoch_s``)."""
+    engine = SampledTrainingEngine(
+        graph, _model(graph), ClusterSpec.ecs(8), seed=0
+    )
+    return wallclock(engine.charge_epoch, repeats=repeats)
+
+
+def _timed(fn):
+    gc.collect()
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _stats(runs):
+    runs = sorted(runs)
+    return {"min_s": runs[0], "median_s": runs[len(runs) // 2], "runs": runs}
+
+
+def measure_epoch_pair(graph, repeats):
+    """Paired vectorized/reference epoch timings, interleaved run by run
+    so slow machine drift cancels out of the min-vs-min ratio."""
+    current = SampledTrainingEngine(
+        graph, _model(graph), ClusterSpec.ecs(8), seed=0
+    )
+    with reference_mode():
+        reference = SampledTrainingEngine(
+            graph, _model(graph), ClusterSpec.ecs(8), seed=0
+        )
+        reference.charge_epoch()
+    current.charge_epoch()
+    cur_runs, ref_runs = [], []
+    for _ in range(repeats):
+        cur_runs.append(_timed(current.charge_epoch))
+        with reference_mode():
+            ref_runs.append(_timed(reference.charge_epoch))
+    return _stats(cur_runs), _stats(ref_runs)
+
+
+def _compile_once(graph):
+    # Fresh engine and cold block cache: plan() memoises on both.
+    graph.__dict__.pop("_block_cache", None)
+    HybridEngine(graph, _model(graph), ClusterSpec.ecs(8)).plan()
+
+
+def measure_compile_pair(graph, repeats):
+    """Paired vectorized/reference hybrid plan-compile timings."""
+    cur_runs, ref_runs = [], []
+    for _ in range(repeats):
+        cur_runs.append(_timed(lambda: _compile_once(graph)))
+        with reference_mode():
+            ref_runs.append(_timed(lambda: _compile_once(graph)))
+        graph.__dict__.pop("_block_cache", None)
+    return _stats(cur_runs), _stats(ref_runs)
+
+
+def run_experiment(datasets=None, repeats=5, compile_repeats=1,
+                   min_speedup=5.0):
+    datasets = list(datasets or DATASETS)
+    rows = []
+    for name in datasets:
+        graph = _graph(name)
+        epoch, epoch_ref = measure_epoch_pair(graph, repeats)
+        compile_, compile_ref = measure_compile_pair(graph, compile_repeats)
+        row = {
+            "dataset": name,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "epoch_s": epoch,
+            "epoch_s_reference": epoch_ref,
+            "epoch_speedup": epoch_ref["min_s"] / epoch["min_s"],
+            "compile_s": compile_,
+            "compile_s_reference": compile_ref,
+            "compile_speedup": compile_ref["min_s"] / compile_["min_s"],
+        }
+        rows.append(row)
+        print(
+            f"{name:>14}: epoch {epoch['min_s']*1e3:8.1f} ms "
+            f"(ref {epoch_ref['min_s']*1e3:8.1f} ms, "
+            f"{row['epoch_speedup']:.2f}x) | "
+            f"compile {compile_['min_s']*1e3:8.1f} ms "
+            f"(ref {compile_ref['min_s']*1e3:8.1f} ms, "
+            f"{row['compile_speedup']:.2f}x)"
+        )
+    largest = rows[-1]
+    print(
+        f"largest ({largest['dataset']}): "
+        f"{largest['epoch_speedup']:.2f}x epoch wall-clock "
+        f"(floor {min_speedup:.1f}x)"
+    )
+    assert largest["epoch_speedup"] >= min_speedup, (
+        f"epoch speedup {largest['epoch_speedup']:.2f}x on "
+        f"{largest['dataset']} is below the {min_speedup:.1f}x floor"
+    )
+    return {
+        "datasets": rows,
+        "largest": largest["dataset"],
+        "epoch_speedup_largest": largest["epoch_speedup"],
+        "min_speedup_floor": min_speedup,
+        "repeats": repeats,
+        "compile_repeats": compile_repeats,
+    }
+
+
+def test_hotpath_smoke(benchmark):
+    result = run_experiment(
+        SMOKE_DATASETS, repeats=2, compile_repeats=1, min_speedup=2.0
+    )
+    assert result["epoch_speedup_largest"] >= 2.0
+    graph = _graph("cora")
+    benchmark(lambda: measure_epoch(graph, repeats=1))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(
+        description="hot-path wall-clock before/after trajectory"
+    )
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the result dictionary to PATH as JSON")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI ladder: small graphs, 2x floor")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="epoch timing repeats (default 5)")
+    parser.add_argument("--compile-repeats", type=int, default=1,
+                        help="compile timing repeats (default 1)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="epoch wall-clock floor on the largest "
+                             "dataset (default 5.0, or 2.0 with --smoke)")
+    args = parser.parse_args()
+    floor = args.min_speedup if args.min_speedup is not None else (
+        2.0 if args.smoke else 5.0
+    )
+    result = run_experiment(
+        SMOKE_DATASETS if args.smoke else DATASETS,
+        repeats=args.repeats,
+        compile_repeats=args.compile_repeats,
+        min_speedup=floor,
+    )
+    write_json(args.json, result)

@@ -15,7 +15,8 @@ the string ``"OOM"``, since JSON has no NaN).
 from __future__ import annotations
 
 import argparse
-from typing import Optional
+import time
+from typing import Callable, Optional
 
 from repro.cluster.memory import OutOfMemoryError
 from repro.cluster.spec import ClusterSpec
@@ -69,6 +70,32 @@ def epoch_time(engine_name: str, dataset: str, **kwargs) -> float:
 
 def is_oom(value: float) -> bool:
     return value != value  # NaN
+
+
+def wallclock(fn: Callable[[], object], repeats: int = 3,
+              warmup: int = 1) -> dict:
+    """Real (``time.perf_counter``) seconds of ``fn``, best-of-N.
+
+    Convention for wall-clock benchmark JSON: ``compile_s`` is the
+    seconds to build an engine's plan/program, ``epoch_s`` the seconds
+    of one charged epoch -- both *measured host* time, unlike the
+    modeled cluster seconds :func:`epoch_time` reports.  Returns
+    ``{"min_s", "median_s", "runs"}``; ``min_s`` is the headline number
+    (least scheduler noise), ``runs`` keeps the raw samples honest.
+    """
+    for _ in range(warmup):
+        fn()
+    runs = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        runs.append(time.perf_counter() - t0)
+    runs.sort()
+    return {
+        "min_s": runs[0],
+        "median_s": runs[len(runs) // 2],
+        "runs": runs,
+    }
 
 
 def fmt_time(seconds: float, unit: str = "ms") -> str:

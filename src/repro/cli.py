@@ -281,6 +281,18 @@ def cmd_train(args) -> int:
     return 0
 
 
+def _requested_passes(args) -> tuple:
+    names = []
+    for attr, name in (
+        ("fuse_pass", "fuse-scatter-gather"),
+        ("pipeline_pass", "chunk-pipeline"),
+        ("ring_pass", "ring-reorder"),
+    ):
+        if getattr(args, attr, False):
+            names.append(name)
+    return tuple(names)
+
+
 def cmd_explain_plan(args) -> int:
     if args.sampled or args.engine in ("sampled", "distdgl"):
         return _explain_sampled(args)
@@ -289,6 +301,7 @@ def cmd_explain_plan(args) -> int:
     _, _, engine = _build(args, args.engine)
     if getattr(args, "overlap_pass", False):
         engine.overlap_pass = True
+    engine.program_passes = _requested_passes(args)
     try:
         engine.plan()
     except OutOfMemoryError as err:
@@ -314,6 +327,7 @@ def _explain_sampled(args) -> int:
     )
     if args.overlap_pass:
         engine.overlap_pass = True
+    engine.program_passes = _requested_passes(args)
     try:
         engine.plan()
     except OutOfMemoryError as err:
@@ -1337,6 +1351,12 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["degree", "lru", "expectation"])
     explain.add_argument("--overlap-pass", action="store_true",
                          help="apply the comm/compute overlap program pass")
+    explain.add_argument("--fuse-pass", action="store_true",
+                         help="apply the fuse-scatter-gather program pass")
+    explain.add_argument("--pipeline-pass", action="store_true",
+                         help="apply the chunk-pipeline program pass")
+    explain.add_argument("--ring-pass", action="store_true",
+                         help="apply the ring-reorder program pass")
     explain.add_argument("--json", default=None,
                          help="write the program description to this JSON "
                               "file")

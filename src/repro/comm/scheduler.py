@@ -118,6 +118,8 @@ def run_exchange(
     retry: Optional["RetryPolicy"] = None,
     cache: Optional[CacheTraffic] = None,
     participants: Optional[Sequence[int]] = None,
+    pipeline_depth: int = 1,
+    staggered: bool = False,
 ) -> ExchangeStats:
     """Charge one exchange-and-compute superstep to the timeline.
 
@@ -160,6 +162,18 @@ def run_exchange(
         columns naming them are ignored (callers must route around dead
         or idle workers themselves).  ``None`` (the default) means all
         workers, bit-identical to the historical behaviour.
+    pipeline_depth:
+        Sub-chunks each sender splits its chunk into
+        (:class:`~repro.execution.passes.ChunkPipelinePass`): under the
+        P optimization the receiver's compute starts after the first
+        *sub*-chunk, so the pipeline fill term divides by this.  1 (the
+        default) is bit-identical to unsplit chunks.
+    staggered:
+        A pass-scheduled ring send order
+        (:class:`~repro.execution.passes.RingReorderPass`): each round
+        has distinct receivers, so receive wire time is charged
+        uncongested even when ``options.ring`` is off.  False (the
+        default) is bit-identical to the unordered schedule.
     """
     m = timeline.num_workers
     volumes = np.asarray(volumes, dtype=np.float64)
@@ -190,7 +204,8 @@ def run_exchange(
     recv_s = np.zeros(m)
     compute_s = np.zeros(m)
     phase_s = np.zeros(m)
-    congested = not options.ring
+    congested = not (options.ring or staggered)
+    pipeline_depth = max(int(pipeline_depth), 1)
 
     retry_wait = np.zeros(m) if faults is not None else None
     retries = 0
@@ -287,8 +302,10 @@ def run_exchange(
         # phase open even if its receive side finished.
         comm = max(send_s[i] + wait_i, recv_s[i])
         if options.overlap and compute_s[i] > 0 and comm > 0:
-            # Pipeline: first chunk must arrive before compute starts.
-            fill = min(recv_wires, default=0.0)
+            # Pipeline: first chunk (or first sub-chunk, when the
+            # chunk-pipeline pass split senders) must arrive before
+            # compute starts.
+            fill = min(recv_wires, default=0.0) / pipeline_depth
             span = max(comm, fill + compute_s[i])
             timeline.record_interval(i, NET_SEND, t_comm_start, send_s[i])
             if wait_i > 0:

@@ -75,6 +75,47 @@ class LayerBlock:
         )
 
 
+def _mask_union(num_vertices: int, *pieces: np.ndarray) -> np.ndarray:
+    """Sorted unique union of id arrays via one boolean mask scan.
+
+    Element-identical to ``np.unique(np.concatenate(pieces))`` for ids
+    in ``[0, num_vertices)`` but O(V + total) instead of a hash/sort.
+    """
+    mask = np.zeros(num_vertices, dtype=bool)
+    for piece in pieces:
+        mask[piece] = True
+    return np.flatnonzero(mask)
+
+
+def _space(num_vertices: int, *pieces: np.ndarray):
+    """A sorted-unique row space: ``(ids, mask, rows)``.
+
+    ``rows`` maps a present global id to its row in ``ids`` via one
+    cumulative scan of the membership mask (``rows[id]`` is undefined
+    for absent ids — check ``mask`` first).
+    """
+    mask = np.zeros(num_vertices, dtype=bool)
+    if len(pieces) == 1 and _is_sorted_unique(pieces[0]):
+        # Already a sorted id space: skip the O(V) flatnonzero scan.
+        ids = pieces[0]
+        mask[ids] = True
+    else:
+        for piece in pieces:
+            mask[piece] = True
+        ids = np.flatnonzero(mask)
+    rows = np.empty(num_vertices, dtype=np.int64)
+    rows[ids] = np.arange(len(ids), dtype=np.int64)
+    return ids, mask, rows
+
+
+def _is_sorted_unique(ids: np.ndarray) -> bool:
+    return bool(
+        ids.ndim == 1
+        and ids.dtype == np.int64
+        and (len(ids) < 2 or (ids[1:] > ids[:-1]).all())
+    )
+
+
 def build_block(
     graph: Graph,
     compute_vertices: np.ndarray,
@@ -86,28 +127,46 @@ def build_block(
     The edge set is every in-edge of a compute vertex; the input space
     is the union of those edges' sources with the compute set itself
     (plus ``extra_inputs`` if an engine needs extra rows resident).
+
+    Results are memoised per graph in a small keyed cache: serving and
+    replay rebuild the same (layer, compute set) blocks for every hot
+    request batch, and the block is immutable once built, so identical
+    keys can share one instance.
     """
-    compute_vertices = np.unique(np.asarray(compute_vertices, dtype=np.int64))
+    compute_vertices = _mask_union(
+        graph.num_vertices, np.asarray(compute_vertices, dtype=np.int64)
+    )
     if len(compute_vertices) == 0:
         raise ValueError("a block needs at least one compute vertex")
+    extra = (
+        None
+        if extra_inputs is None
+        else np.asarray(extra_inputs, dtype=np.int64)
+    )
+    cache = graph.__dict__.setdefault("_block_cache", {})
+    key = (
+        int(layer_index),
+        compute_vertices.tobytes(),
+        None if extra is None else extra.tobytes(),
+    )
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
     dsts, srcs, eids = graph.csc.select(compute_vertices)
     pieces = [srcs, compute_vertices]
-    if extra_inputs is not None:
-        pieces.append(np.asarray(extra_inputs, dtype=np.int64))
-    input_vertices = np.unique(np.concatenate(pieces))
+    if extra is not None:
+        pieces.append(extra)
+    input_vertices, _, input_rows = _space(graph.num_vertices, *pieces)
+    _, _, output_rows = _space(graph.num_vertices, compute_vertices)
 
-    # Position lookups (global id -> row).
-    input_pos = _position_lookup(input_vertices)
-    output_pos = _position_lookup(compute_vertices)
-
-    return LayerBlock(
+    block = LayerBlock(
         layer_index=layer_index,
         compute_vertices=compute_vertices,
         input_vertices=input_vertices,
-        edge_src_pos=input_pos[srcs],
-        edge_dst_pos=output_pos[dsts],
+        edge_src_pos=input_rows[srcs],
+        edge_dst_pos=output_rows[dsts],
         edge_weight=graph.edge_weight[eids],
-        compute_pos_in_inputs=input_pos[compute_vertices],
+        compute_pos_in_inputs=input_rows[compute_vertices],
         edge_src_global=srcs,
         edge_ids=eids,
         edge_features=(
@@ -116,6 +175,13 @@ def build_block(
             else None
         ),
     )
+    if len(cache) >= _BLOCK_CACHE_CAP:
+        cache.pop(next(iter(cache)))
+    cache[key] = block
+    return block
+
+
+_BLOCK_CACHE_CAP = 256
 
 
 def build_block_from_edges(
@@ -131,21 +197,25 @@ def build_block_from_edges(
     Used by the sampling engine: the edge set is a sampled subset of the
     in-edges of ``compute_vertices`` rather than all of them.
     """
-    compute_vertices = np.unique(np.asarray(compute_vertices, dtype=np.int64))
     src = np.asarray(src, dtype=np.int64)
     dst = np.asarray(dst, dtype=np.int64)
     edge_ids = np.asarray(edge_ids, dtype=np.int64)
-    input_vertices = np.unique(np.concatenate([src, compute_vertices]))
-    input_pos = _position_lookup(input_vertices)
-    output_pos = _position_lookup(compute_vertices)
+    compute_vertices, compute_mask, output_rows = _space(
+        graph.num_vertices, np.asarray(compute_vertices, dtype=np.int64)
+    )
+    input_vertices, _, input_rows = _space(
+        graph.num_vertices, src, compute_vertices
+    )
+    if len(dst) and not compute_mask[dst].all():
+        raise KeyError("id not present in block space")
     return LayerBlock(
         layer_index=layer_index,
         compute_vertices=compute_vertices,
         input_vertices=input_vertices,
-        edge_src_pos=input_pos[src],
-        edge_dst_pos=output_pos[dst],
+        edge_src_pos=input_rows[src],
+        edge_dst_pos=output_rows[dst],
         edge_weight=graph.edge_weight[edge_ids],
-        compute_pos_in_inputs=input_pos[compute_vertices],
+        compute_pos_in_inputs=input_rows[compute_vertices],
         edge_src_global=src,
         edge_ids=edge_ids,
         edge_features=(
@@ -161,12 +231,35 @@ def _position_lookup(sorted_ids: np.ndarray) -> "_Lookup":
 
 
 class _Lookup:
-    """Maps global vertex ids to rows of a sorted id array."""
+    """Maps global vertex ids to rows of a sorted id array.
+
+    Dense inverse table (id -> row, -1 for absent) when the id range is
+    comparable to the id count; ``searchsorted`` otherwise.  Both paths
+    return the same positions and raise the same ``KeyError``.
+    """
 
     def __init__(self, sorted_ids: np.ndarray):
         self.sorted_ids = sorted_ids
+        n = len(sorted_ids)
+        span = int(sorted_ids[-1]) + 1 if n else 0
+        if n and 0 <= int(sorted_ids[0]) and span <= max(4 * n, 65536):
+            self._table = np.full(span, -1, dtype=np.int64)
+            self._table[sorted_ids] = np.arange(n, dtype=np.int64)
+        else:
+            self._table = None
 
     def __getitem__(self, ids: np.ndarray) -> np.ndarray:
+        table = self._table
+        if table is not None:
+            if len(ids) == 0:
+                return np.empty(0, dtype=np.int64)
+            ids = np.asarray(ids)
+            if int(ids.min()) < 0 or int(ids.max()) >= len(table):
+                raise KeyError("id not present in block space")
+            pos = table[ids]
+            if (pos < 0).any():
+                raise KeyError("id not present in block space")
+            return pos
         pos = np.searchsorted(self.sorted_ids, ids)
         if len(ids) and (
             pos.max(initial=0) >= len(self.sorted_ids)

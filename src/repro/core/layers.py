@@ -53,6 +53,24 @@ class GNNLayer(nn.Module):
         """Backward pass cost relative to forward (standard ~2x)."""
         return 2.0
 
+    # -- fusion (FuseScatterGatherPass) -------------------------------
+    def fused_reducer(self) -> Optional[str]:
+        """Reducer name when this layer's Scatter/Edge/Gather triple is
+        a plain segment reduction (``"weighted_sum"`` / ``"mean"``);
+        ``None`` means the pass must leave the layer unfused (edge-
+        associated NN computation, e.g. attention)."""
+        return None
+
+    def fused_flops_factor(self) -> float:
+        """Charged sparse-flops multiplier once fused (skipping the
+        materialised per-edge intermediate); 1.0 when not fusable."""
+        return 1.0
+
+    def forward_fused(self, block: LayerBlock, h_inputs: Tensor) -> Tensor:
+        """Fused-kernel forward; only valid when :meth:`fused_reducer`
+        returns a reducer name."""
+        raise NotImplementedError(f"{type(self).__name__} is not fusable")
+
 
 class GCNConv(GNNLayer):
     """Graph convolution (Kipf & Welling 2017).
@@ -88,6 +106,20 @@ class GCNConv(GNNLayer):
         if self.activation == "relu":
             out = out.relu()
         return out
+
+    def fused_reducer(self) -> Optional[str]:
+        return "weighted_sum"
+
+    def fused_flops_factor(self) -> float:
+        # The E x d weighted message is never materialised: 3 of the 4
+        # per-edge/dim ops remain (gather, multiply, scatter-add).
+        return 0.75
+
+    def forward_fused(self, block: LayerBlock, h_inputs: Tensor) -> Tensor:
+        aggregated = ops.fused_scatter_gather(block, h_inputs, "weighted_sum")
+        return ops.vertex_forward(
+            block, h_inputs, aggregated, lambda h_dst, agg: self._vertex(agg)
+        )
 
     def dense_flops(self, block: LayerBlock) -> float:
         return float(self.linear.flops(block.num_outputs))
@@ -129,15 +161,24 @@ class GINConv(GNNLayer):
             block, f_src, None, lambda src, dst, w: src * Tensor(w.reshape(-1, 1))
         )
         aggregated = ops.gather_by_dst(block, messages, agg="sum")
+        return ops.vertex_forward(block, h_inputs, aggregated, self._vertex)
 
-        def vertex_fn(h_dst: Tensor, agg: Tensor) -> Tensor:
-            combined = h_dst * (1.0 + self.eps) + agg
-            out = self.mlp2(self.mlp1(combined).relu())
-            if self.activation == "relu":
-                out = out.relu()
-            return out
+    def _vertex(self, h_dst: Tensor, agg: Tensor) -> Tensor:
+        combined = h_dst * (1.0 + self.eps) + agg
+        out = self.mlp2(self.mlp1(combined).relu())
+        if self.activation == "relu":
+            out = out.relu()
+        return out
 
-        return ops.vertex_forward(block, h_inputs, aggregated, vertex_fn)
+    def fused_reducer(self) -> Optional[str]:
+        return "weighted_sum"
+
+    def fused_flops_factor(self) -> float:
+        return 0.75
+
+    def forward_fused(self, block: LayerBlock, h_inputs: Tensor) -> Tensor:
+        aggregated = ops.fused_scatter_gather(block, h_inputs, "weighted_sum")
+        return ops.vertex_forward(block, h_inputs, aggregated, self._vertex)
 
     def dense_flops(self, block: LayerBlock) -> float:
         n = block.num_outputs
@@ -238,14 +279,25 @@ class SAGEConv(GNNLayer):
             block, f_src, None, lambda src, dst, w: src
         )
         aggregated = ops.gather_by_dst(block, messages, agg="mean")
+        return ops.vertex_forward(block, h_inputs, aggregated, self._vertex)
 
-        def vertex_fn(h_dst: Tensor, agg: Tensor) -> Tensor:
-            out = self.linear(F.concat([h_dst, agg], axis=1))
-            if self.activation == "relu":
-                out = out.relu()
-            return out
+    def _vertex(self, h_dst: Tensor, agg: Tensor) -> Tensor:
+        out = self.linear(F.concat([h_dst, agg], axis=1))
+        if self.activation == "relu":
+            out = out.relu()
+        return out
 
-        return ops.vertex_forward(block, h_inputs, aggregated, vertex_fn)
+    def fused_reducer(self) -> Optional[str]:
+        return "mean"
+
+    def fused_flops_factor(self) -> float:
+        # Gather and scatter-add collapse around the never-written
+        # message copy: 2 of ~3 per-edge/dim ops remain.
+        return 0.75
+
+    def forward_fused(self, block: LayerBlock, h_inputs: Tensor) -> Tensor:
+        aggregated = ops.fused_scatter_gather(block, h_inputs, "mean")
+        return ops.vertex_forward(block, h_inputs, aggregated, self._vertex)
 
     def dense_flops(self, block: LayerBlock) -> float:
         return float(self.linear.flops(block.num_outputs))

@@ -60,6 +60,28 @@ def gather_by_dst(block: LayerBlock, messages: Tensor, agg: str = "sum") -> Tens
     raise ValueError(f"unsupported aggregator {agg!r} (use 'sum' or 'mean')")
 
 
+def fused_scatter_gather(
+    block: LayerBlock, h_inputs: Tensor, reducer: str
+) -> Tensor:
+    """ScatterToEdge + EdgeForward + GatherByDst as one segment kernel.
+
+    The lowered form :class:`~repro.execution.passes.FuseScatterGatherPass`
+    dispatches for simple reducers: ``"weighted_sum"`` multiplies each
+    source row by the edge weight before the sum (GCN/GIN message),
+    ``"mean"`` averages the raw source rows (SAGE).  Bit-identical to
+    the three-op chain -- see
+    :class:`repro.tensor.functional.FusedGatherScatter`.
+    """
+    return F.fused_gather_scatter(
+        h_inputs,
+        block.edge_src_pos,
+        block.edge_dst_pos,
+        block.num_outputs,
+        weights=block.edge_weight if reducer == "weighted_sum" else None,
+        reducer=reducer,
+    )
+
+
 def vertex_forward(
     block: LayerBlock,
     h_inputs: Tensor,

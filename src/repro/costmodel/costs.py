@@ -165,6 +165,7 @@ class DependencyCostModel:
         """
         graph = self.graph
         csc = graph.csc
+        indptr = csc.indptr
         cost = 0.0
         new_edge_count = 0
         memory = 0
@@ -173,11 +174,30 @@ class DependencyCostModel:
         # Level k = layer-1 down to 1: h^k recomputed for the frontier.
         for k in range(layer - 1, 0, -1):
             rep = self.replicated[k]
-            fresh = frontier[~self.owned_mask[frontier] & ~rep[frontier]]
+            if len(frontier) == 1:
+                # The first level is always a single vertex, so the
+                # mask filter reduces to two bool probes.
+                v = int(frontier[0])
+                fresh = (
+                    frontier[:0]
+                    if (self.owned_mask[v] or rep[v])
+                    else frontier
+                )
+            else:
+                fresh = frontier[~self.owned_mask[frontier] & ~rep[frontier]]
             new_vertices.append(fresh)
             if len(fresh):
-                _, sources, eids = csc.select(fresh)
-                edge_count = len(eids)
+                if len(fresh) == 1:
+                    # One vertex's in-edges are a single indptr slice;
+                    # skip the general gather.
+                    v = int(fresh[0])
+                    lo = int(indptr[v])
+                    hi = int(indptr[v + 1])
+                    sources = csc.other[lo:hi]
+                    edge_count = hi - lo
+                else:
+                    _, sources, eids = csc.select(fresh)
+                    edge_count = len(eids)
                 cost += self.mu * (
                     len(fresh) * self.constants.vertex_cost(k)
                     + edge_count * self.constants.edge_cost(k)

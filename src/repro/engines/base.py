@@ -92,6 +92,7 @@ class BaseEngine:
         retry: Optional[RetryPolicy] = None,
         cache_config: Optional[CacheConfig] = None,
         overlap_pass: bool = False,
+        program_passes: Optional[Tuple[str, ...]] = None,
     ):
         if update_mode not in ("allreduce", "parameter-server"):
             raise ValueError(
@@ -115,6 +116,7 @@ class BaseEngine:
         self.comm = comm
         self.update_mode = update_mode
         self.overlap_pass = bool(overlap_pass)
+        self.program_passes = tuple(program_passes or ())
         # A truthy fault schedule activates the fault-aware charging
         # paths; otherwise charging is bit-identical to fault-free.
         if cluster.faults:
@@ -234,7 +236,7 @@ class BaseEngine:
             update_mode=self.update_mode,
             retry=self.retry,
             cache_config=self.cache_config,
-            overlap_pass=self.overlap_pass,
+            overlap_pass=self.overlap_pass, program_passes=self.program_passes,
         )
 
     def respawn(

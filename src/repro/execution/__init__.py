@@ -24,9 +24,14 @@ from repro.execution.executor import (
 )
 from repro.execution.explain import describe_program, render_program
 from repro.execution.passes import (
+    PASS_REGISTRY,
+    ChunkPipelinePass,
+    FuseScatterGatherPass,
     OverlapExchangePass,
     ProgramPass,
+    RingReorderPass,
     default_passes,
+    make_pass,
     run_passes,
 )
 from repro.execution.plan import (
@@ -39,6 +44,7 @@ from repro.execution.program import (
     ComputeSpec,
     EdgeForwardStep,
     ExchangePhase,
+    FusedScatterGatherStep,
     GatherByDstStep,
     GetFromDepNbrStep,
     LayerProgram,
@@ -59,20 +65,25 @@ from repro.execution.tp import (
 __all__ = [
     "BACKWARD_MULTIPLIER",
     "HOST_MEMORY_BYTES",
+    "ChunkPipelinePass",
     "ComputeSpec",
     "EdgeForwardStep",
     "EnginePlan",
     "EpochReport",
     "ExchangePhase",
     "FeatureSliceAllToAllStep",
+    "FuseScatterGatherPass",
+    "FusedScatterGatherStep",
     "GatherByDstStep",
     "GetFromDepNbrStep",
     "LayerAccountant",
     "LayerExecutor",
     "LayerProgram",
     "OverlapExchangePass",
+    "PASS_REGISTRY",
     "Program",
     "ProgramPass",
+    "RingReorderPass",
     "ScatterToEdgeStep",
     "StalenessBoundedReader",
     "VertexForwardStep",
@@ -85,6 +96,7 @@ __all__ = [
     "default_passes",
     "describe_program",
     "layer_compute_specs",
+    "make_pass",
     "max_chunk_edges",
     "render_program",
     "run_closure_forward",

@@ -59,6 +59,14 @@ class LayerAccountant:
             return program.layers[l - 1].compute_specs
         return layer_compute_specs(self.engine, plan, l)
 
+    def _program_layer(self, plan: EnginePlan, l: int):
+        """The compiled LayerProgram for ``l`` when ``plan`` is current
+        (pass annotations live there); None otherwise."""
+        program = self.engine.program_
+        if program is None or plan is not self.engine.plan_:
+            return None
+        return program.layers[l - 1]
+
     def layer_compute_split(self, plan: EnginePlan, l: int):
         """Per-worker (chunk_compute, local_compute, dense) seconds."""
         engine = self.engine
@@ -68,13 +76,22 @@ class LayerAccountant:
         dense = np.zeros(m)
         d_in = engine.dims[l - 1]
         specs = self._specs_for(plan, l)
+        # Fused layers skip the materialised per-edge intermediate, so
+        # the charged sparse time shrinks by the layer's declared factor
+        # (the counts in the IR stay untouched).
+        lp = self._program_layer(plan, l)
+        sparse_factor = (
+            engine.model.layer(l).fused_flops_factor()
+            if lp is not None and lp.fused_reducer is not None
+            else 1.0
+        )
         for w in range(m):
             device = engine._device(w)
             spec = specs[w]
             dense[w] = device.dense_time(spec.dense_flops)
             if spec.num_edges == 0:
                 continue
-            per_edge = spec.sparse_flops / spec.num_edges
+            per_edge = sparse_factor * spec.sparse_flops / spec.num_edges
             for j in range(m):
                 count = int(spec.chunk_edges[j])
                 if count == 0:
@@ -138,6 +155,7 @@ class LayerAccountant:
             return tp_charge_forward_layer(self, plan, l)
         volumes = engine._forward_volumes(plan, l)
         chunk_compute, local_compute, dense = engine._layer_compute_split(plan, l)
+        depth, staggered = self._exchange_schedule(plan, l)
         stats = run_exchange(
             engine.timeline,
             engine.cluster.network,
@@ -150,17 +168,27 @@ class LayerAccountant:
             faults=engine.faults,
             retry=engine.retry,
             cache=engine._cache_traffic(plan, l, backward=False),
+            pipeline_depth=depth,
+            staggered=staggered,
         )
         engine._forward_stats.append(stats)
         self._charge_dense(plan, l, dense, stats, volumes)
         return stats
 
+    def _exchange_schedule(self, plan: EnginePlan, l: int):
+        """Pass-written (pipeline_depth, staggered) for layer ``l``'s
+        exchange; (1, False) charges bit-identically to no pass."""
+        lp = self._program_layer(plan, l)
+        if lp is None:
+            return 1, False
+        ex = lp.exchange
+        return int(ex.pipeline_depth), ex.ring_order is not None
+
     def _fold_flags(self, plan: EnginePlan, l: int) -> Optional[np.ndarray]:
         """Pass-written fold markers for this layer (None = charge as-is)."""
-        program = self.engine.program_
-        if program is None or plan is not self.engine.plan_:
+        lp = self._program_layer(plan, l)
+        if lp is None:
             return None
-        lp = program.layers[l - 1]
         # TP layers fold the dense into the unslice (post) exchange --
         # the phase whose window precedes the owned-rows VertexForward.
         ex = lp.post_exchange if lp.post_exchange is not None else lp.exchange
@@ -180,11 +208,14 @@ class LayerAccountant:
         engine = self.engine
         timeline = engine.timeline
         fold = self._fold_flags(plan, l)
+        depth, staggered = self._exchange_schedule(plan, l)
         for w in range(engine.cluster.num_workers):
             d = dense[w]
             saved = 0.0
             if fold is not None and fold[w] and d > 0:
-                saved = self._overlap_saving(stats, volumes, w, d)
+                saved = self._overlap_saving(
+                    stats, volumes, w, d, depth, staggered
+                )
             if saved <= 0:
                 timeline.advance(w, GPU, d)
                 continue
@@ -199,14 +230,21 @@ class LayerAccountant:
             timeline.advance(w, GPU, d - saved)
 
     def _overlap_saving(
-        self, stats: ExchangeStats, volumes: np.ndarray, w: int, dense_w: float
+        self,
+        stats: ExchangeStats,
+        volumes: np.ndarray,
+        w: int,
+        dense_w: float,
+        pipeline_depth: int = 1,
+        staggered: bool = False,
     ) -> float:
         """Dense seconds the exchange window can absorb for worker ``w``.
 
         The window's idle slack is ``comm - fill - busy``: after the
-        first chunk lands (``fill``) and the already-overlapped chunk
-        compute (``busy``, only when the P optimization pipelines it),
-        the GPU sits idle until the last byte arrives.  Clamped to
+        first chunk lands (``fill``, divided by the chunk-pipeline
+        depth when that pass split senders) and the already-overlapped
+        chunk compute (``busy``, only when the P optimization pipelines
+        it), the GPU sits idle until the last byte arrives.  Clamped to
         ``[0, dense_w]``, so folding can never increase wall-clock, and
         a single-chunk exchange (nothing to pipeline behind) folds
         nothing.
@@ -214,7 +252,7 @@ class LayerAccountant:
         engine = self.engine
         network = engine.cluster.network
         m = volumes.shape[0]
-        congested = not engine.comm.ring
+        congested = not (engine.comm.ring or staggered)
         wires = [
             network.wire_time(volumes[j, w], congested=congested)
             for j in range(m)
@@ -228,7 +266,7 @@ class LayerAccountant:
             else 0.0
         )
         comm = max(float(stats.send_s[w]) + wait, float(stats.recv_s[w]))
-        fill = min(wires)
+        fill = min(wires) / max(int(pipeline_depth), 1)
         busy = float(stats.compute_s[w]) if engine.comm.overlap else 0.0
         return min(float(dense_w), max(0.0, comm - fill - busy))
 
@@ -244,6 +282,9 @@ class LayerAccountant:
             chunk_compute.sum(axis=0) + local_compute + dense
         ) * BACKWARD_MULTIPLIER
         volumes = engine._backward_volumes(plan, l)
+        # The gradient return retraces the forward schedule, so the
+        # pass-written ring/pipeline annotations apply symmetrically.
+        depth, staggered = self._exchange_schedule(plan, l)
         run_exchange(
             engine.timeline,
             engine.cluster.network,
@@ -256,6 +297,8 @@ class LayerAccountant:
             faults=engine.faults,
             retry=engine.retry,
             cache=engine._cache_traffic(plan, l, backward=True),
+            pipeline_depth=depth,
+            staggered=staggered,
         )
 
     # -- loss / parameter sync -----------------------------------------

@@ -194,6 +194,14 @@ class LayerExecutor:
             engine._charge_forward_layer(plan, l)
             layer = engine.model.layer(l)
             tp = plan.is_tp_layer(l)
+            # FuseScatterGatherPass lowers the layer to the fused
+            # segment kernel (bit-identical; see passes.py).
+            program = engine.program_
+            fused = (
+                program is not None
+                and program.layers[l - 1].fused_reducer is not None
+            )
+            layer_forward = layer.forward_fused if fused else layer.forward
             for w in range(m):
                 if tp and w > 0:
                     # Tensor-parallel layer: the recombined slices ARE
@@ -209,10 +217,10 @@ class LayerExecutor:
                 rows = engine._gather_inputs(plan, h_values, l, w, block)
                 h_in = Tensor(rows, requires_grad=training)
                 if training:
-                    out = layer.forward(block, h_in)
+                    out = layer_forward(block, h_in)
                 else:
                     with no_grad():
-                        out = layer.forward(block, h_in)
+                        out = layer_forward(block, h_in)
                 h_values[l][w] = out.data
                 in_tensors[l - 1][w] = h_in
                 out_tensors[l - 1][w] = out

@@ -20,6 +20,19 @@ def _step_dict(step) -> Dict[str, object]:
     return d
 
 
+def _edge_step(wk: Dict[str, object]) -> Dict[str, object]:
+    """The sparse step of a worker tuple, fused or not.
+
+    Unfused tuples carry Scatter -> EdgeForward -> GatherByDst at indices
+    1..3; the fuse-scatter-gather pass collapses them into one
+    ``fused_scatter_gather`` step, so look the step up by kind.
+    """
+    for step in wk["steps"]:
+        if step["kind"] in ("edge_forward", "fused_scatter_gather"):
+            return step
+    raise ValueError("worker program has no sparse step")
+
+
 def describe_program(engine) -> Dict[str, object]:
     """The compiled program as a JSON-friendly dict."""
     engine.plan()
@@ -50,6 +63,13 @@ def describe_program(engine) -> Dict[str, object]:
             ),
             "refresh_entries": int(ex.refresh_entries),
             "bytes_per_message": float(ex.bytes_per_message),
+            "fused_reducer": lp.fused_reducer,
+            "pipeline_depth": int(fold_ex.pipeline_depth),
+            "ring_order": (
+                list(fold_ex.ring_order)
+                if fold_ex.ring_order is not None
+                else None
+            ),
             "workers": workers,
         })
     return {
@@ -74,15 +94,23 @@ def render_program(engine) -> str:
         "passes: " + (", ".join(desc["passes"]) if desc["passes"] else "(none)")
     )
     for layer in desc["layers"]:
+        notes = []
+        if layer["pipeline_depth"] > 1:
+            notes.append(f"pipeline-depth={layer['pipeline_depth']}")
+        if layer["ring_order"] is not None:
+            order = "-".join(str(o) for o in layer["ring_order"])
+            notes.append(f"ring-order={order}")
+        annot = f"  [{', '.join(notes)}]" if notes else ""
         if layer.get("tensor_parallel"):
             lines.append(
                 f"layer {layer['layer']}: tensor-parallel, "
                 f"slice exchange {layer['exchange_bytes']} B, "
                 f"unslice exchange {layer['post_exchange_bytes']} B"
+                + annot
             )
             for wk in layer["workers"]:
                 sl = wk["steps"][0]
-                edge = wk["steps"][2]
+                edge = _edge_step(wk)
                 vertex = wk["steps"][-1]
                 flags = ["fold-dense"] if wk["fold_dense"] else []
                 suffix = f"  [{', '.join(flags)}]" if flags else ""
@@ -103,11 +131,19 @@ def render_program(engine) -> str:
                 if layer["refresh_entries"]
                 else ""
             )
+            + annot
         )
         for wk in layer["workers"]:
             gather = wk["steps"][0]
             vertex = wk["steps"][-1]
-            edge = wk["steps"][2]
+            edge = _edge_step(wk)
+            if edge["kind"] == "fused_scatter_gather":
+                sparse = (
+                    f"FusedScatterGather(edges={edge['num_edges']} "
+                    f"reducer={edge['reducer']})"
+                )
+            else:
+                sparse = f"Scatter/Edge/Gather(edges={edge['num_edges']})"
             flags = []
             if wk["fold_dense"]:
                 flags.append("fold-dense")
@@ -121,7 +157,7 @@ def render_program(engine) -> str:
                 f"cached={gather['num_cached']} "
                 f"recompute={gather['num_recompute']} "
                 f"fetch_bytes={gather['fetch_bytes']}) -> "
-                f"Scatter/Edge/Gather(edges={edge['num_edges']}) -> "
+                f"{sparse} -> "
                 f"VertexForward(out={vertex['num_outputs']})"
                 f" chunks={wk['recv_chunks']}{suffix}"
             )

@@ -15,13 +15,34 @@ absorb dense time.  The pass only marks where folding is legal
 (2+ incoming chunks); how many seconds actually fold is the
 accountant's call, clamped so wall-clock never increases
 (:meth:`~repro.execution.accountant.LayerAccountant._overlap_saving`).
+
+Three further passes grow the pipeline into a real optimizer:
+
+- :class:`FuseScatterGatherPass` lowers a layer's ScatterToEdge +
+  EdgeForward + GatherByDst triple to one
+  :class:`~repro.execution.program.FusedScatterGatherStep` when the
+  layer declares a fusable reducer (simple weighted-sum or mean).  The
+  numeric kernel replays the exact unfused numpy op sequence, so the
+  fusion is bit-identical; only the charged sparse time shrinks (the
+  materialised per-edge intermediate is skipped).
+- :class:`ChunkPipelinePass` annotates exchanges with a cross-layer
+  chunk ``pipeline_depth``: each sender splits its chunk into sub-
+  chunks so the receiver's overlapped compute starts after ``1/depth``
+  of the first chunk, never later than before (depth 1 is identical).
+- :class:`RingReorderPass` writes a staggered ring ``ring_order`` onto
+  exchanges: senders rotate through receivers round by round, so no
+  receiver NIC ever serves two chunks at once -- receive wire time is
+  charged uncongested even when the engine-level R optimization is off.
+
+Every pass mutates IR annotations only; with no pass enabled the
+program charges and executes bit-identically to the pre-pass engine.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.execution.program import Program
+from repro.execution.program import FusedScatterGatherStep, Program
 
 
 class ProgramPass:
@@ -56,11 +77,124 @@ class OverlapExchangePass(ProgramPass):
                     ex.fold_dense[w] = True
 
 
+class FuseScatterGatherPass(ProgramPass):
+    """Lower simple-reducer layers to one segment-reduction step.
+
+    A layer opts in by returning a reducer name from
+    :meth:`~repro.core.layers.GNNLayer.fused_reducer` (GCN/GIN:
+    ``"weighted_sum"``; SAGE: ``"mean"``; attention layers return
+    ``None`` -- their edge function is not a plain reduction).  The
+    worker step tuple ``(Get, Scatter, Edge, Gather, Vertex)`` becomes
+    ``(Get, Fused, Vertex)`` and the layer is marked so the executor
+    dispatches the fused kernel and the accountant discounts the
+    charged sparse time.  Tensor-parallel layers are left untouched.
+    """
+
+    name = "fuse-scatter-gather"
+
+    def run(self, program: Program, engine) -> None:
+        for lp in program.layers:
+            if lp.is_tp:
+                continue
+            layer = engine.model.layer(lp.layer)
+            reducer = layer.fused_reducer()
+            if reducer is None:
+                continue
+            lp.fused_reducer = reducer
+            for wp in lp.workers:
+                steps = wp.steps
+                if len(steps) != 5:
+                    continue
+                edge = steps[2]
+                gather = steps[3]
+                wp.steps = (
+                    steps[0],
+                    FusedScatterGatherStep(
+                        num_edges=edge.num_edges,
+                        num_outputs=gather.num_outputs,
+                        sparse_flops=edge.sparse_flops,
+                        reducer=reducer,
+                    ),
+                    steps[4],
+                )
+
+
+class ChunkPipelinePass(ProgramPass):
+    """Annotate exchanges with a cross-layer chunk pipeline depth.
+
+    Each sender splits its chunk into ``depth`` sub-chunks, so a
+    receiver overlapping compute with communication (the P
+    optimization) can start after the first *sub*-chunk lands: the
+    pipeline fill term shrinks to ``fill / depth``.  Wall-clock can
+    only shrink -- the phase span is ``max(comm, fill + compute)`` and
+    only ``fill`` changes -- and phases without traffic are skipped.
+    """
+
+    name = "chunk-pipeline"
+
+    def __init__(self, depth: int = 4):
+        if depth < 1:
+            raise ValueError(f"pipeline depth must be >= 1, got {depth}")
+        self.depth = int(depth)
+
+    def run(self, program: Program, engine) -> None:
+        for lp in program.layers:
+            for ex in (lp.exchange, lp.post_exchange):
+                if ex is not None and ex.total_bytes() > 0:
+                    ex.pipeline_depth = max(ex.pipeline_depth, self.depth)
+
+
+class RingReorderPass(ProgramPass):
+    """Reorder each exchange's chunk sends into a staggered ring.
+
+    In round ``r`` worker ``i`` sends to ``(i + r) mod m``: every round
+    has distinct receivers, so no receiver NIC serves two concurrent
+    chunks and receive wire time is charged uncongested.  The written
+    ``ring_order`` is the round-offset schedule ``(1, .., m-1)``.  A
+    no-op (beyond the annotation) when the engine-level R optimization
+    already staggers sends.
+    """
+
+    name = "ring-reorder"
+
+    def run(self, program: Program, engine) -> None:
+        order = tuple(range(1, program.num_workers))
+        for lp in program.layers:
+            for ex in (lp.exchange, lp.post_exchange):
+                if ex is not None and ex.total_bytes() > 0:
+                    ex.ring_order = order
+
+
+# Constructors for the optional passes an engine can name in its
+# ``program_passes`` tuple (``overlap_pass=True`` remains the switch
+# for OverlapExchangePass, kept for compatibility).
+PASS_REGISTRY = {
+    OverlapExchangePass.name: OverlapExchangePass,
+    FuseScatterGatherPass.name: FuseScatterGatherPass,
+    ChunkPipelinePass.name: ChunkPipelinePass,
+    RingReorderPass.name: RingReorderPass,
+}
+
+
+def make_pass(name: str) -> ProgramPass:
+    """Instantiate a registered pass by name."""
+    try:
+        return PASS_REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown program pass {name!r} "
+            f"(known: {', '.join(sorted(PASS_REGISTRY))})"
+        ) from None
+
+
 def default_passes(engine) -> List[ProgramPass]:
     """The pass list an engine's configuration enables."""
+    passes: List[ProgramPass] = []
     if getattr(engine, "overlap_pass", False):
-        return [OverlapExchangePass()]
-    return []
+        passes.append(OverlapExchangePass())
+    for name in getattr(engine, "program_passes", ()) or ():
+        passes.append(make_pass(name))
+    return passes
 
 
 def run_passes(

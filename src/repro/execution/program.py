@@ -77,6 +77,24 @@ class GatherByDstStep:
 
 
 @dataclass(frozen=True)
+class FusedScatterGatherStep:
+    """Scatter + EdgeForward + GatherByDst lowered to one segment kernel.
+
+    Written by :class:`.passes.FuseScatterGatherPass` for layers whose
+    edge function is a simple (weighted-)sum or mean reducer: the three
+    edge-sized steps collapse into a single segment reduction, skipping
+    the materialised per-edge intermediate.  ``reducer`` names the
+    fused kernel (``"weighted_sum"`` / ``"mean"``).
+    """
+
+    kind = "fused_scatter_gather"
+    num_edges: int
+    num_outputs: int
+    sparse_flops: float
+    reducer: str
+
+
+@dataclass(frozen=True)
 class VertexForwardStep:
     """Per-vertex NN op (the dense share of the layer)."""
 
@@ -115,6 +133,12 @@ class ExchangePhase:
     ``fold_dense[w]`` is pass-written metadata: when set, the accountant
     may fold worker ``w``'s VertexForward time into this exchange's
     communication window (see :class:`.passes.OverlapExchangePass`).
+    ``pipeline_depth`` (:class:`.passes.ChunkPipelinePass`) splits each
+    incoming chunk into that many sub-chunks, shrinking the pipeline
+    fill; ``ring_order`` (:class:`.passes.RingReorderPass`) is the
+    staggered round-offset schedule senders follow, which keeps every
+    receiver's NIC uncongested.  Defaults (1 / ``None``) charge
+    bit-identically to the pre-pass engine.
     """
 
     layer: int
@@ -123,6 +147,8 @@ class ExchangePhase:
     bytes_per_message: float
     refresh_entries: int
     fold_dense: np.ndarray = field(default=None)
+    pipeline_depth: int = 1
+    ring_order: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self):
         if self.fold_dense is None:
@@ -164,6 +190,9 @@ class LayerProgram:
     exchange: ExchangePhase
     workers: List[WorkerLayerProgram]
     post_exchange: Optional[ExchangePhase] = None
+    # Pass-written: reducer name when the layer's Scatter/Edge/Gather
+    # triple was lowered to a FusedScatterGatherStep, else None.
+    fused_reducer: Optional[str] = None
 
     @property
     def is_tp(self) -> bool:

@@ -64,10 +64,26 @@ class Adjacency:
         """Unique opposite endpoints over a vertex set (BFS frontier step)."""
         if len(vertices) == 0:
             return np.empty(0, dtype=np.int64)
-        parts = [self.neighbors(int(v)) for v in np.asarray(vertices)]
-        if not parts:
+        idx = self._edge_range_index(np.asarray(vertices, dtype=np.int64))
+        return np.unique(self.other[idx])
+
+    def _edge_range_index(self, vertices: np.ndarray) -> np.ndarray:
+        """Flat positions of every grouped edge of ``vertices``.
+
+        One offset-arithmetic gather over ``indptr`` replaces the old
+        per-vertex list of slices: the i-th vertex's CSR range
+        ``[indptr[v], indptr[v+1])`` lands contiguously at output offset
+        ``cumsum(counts)[i-1]``, preserving per-vertex order.
+        """
+        starts = self.indptr[vertices]
+        counts = self.indptr[vertices + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
             return np.empty(0, dtype=np.int64)
-        return np.unique(np.concatenate(parts))
+        offsets = np.cumsum(counts) - counts
+        return np.arange(total, dtype=np.int64) + np.repeat(
+            starts - offsets, counts
+        )
 
     def select(self, vertices: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """All grouped edges of a vertex set.
@@ -79,10 +95,20 @@ class Adjacency:
         if len(vertices) == 0:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty.copy(), empty.copy()
-        spans = [
-            (self.indptr[v], self.indptr[v + 1]) for v in vertices
-        ]
-        keys = np.concatenate([self.key[lo:hi] for lo, hi in spans])
-        others = np.concatenate([self.other[lo:hi] for lo, hi in spans])
-        eids = np.concatenate([self.edge_ids[lo:hi] for lo, hi in spans])
-        return keys, others, eids
+        starts = self.indptr[vertices]
+        counts = self.indptr[vertices + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return (
+                np.empty(0, dtype=self.key.dtype),
+                np.empty(0, dtype=self.other.dtype),
+                np.empty(0, dtype=self.edge_ids.dtype),
+            )
+        offsets = np.cumsum(counts) - counts
+        idx = np.arange(total, dtype=np.int64) + np.repeat(
+            starts - offsets, counts
+        )
+        # The grouped key of every edge in vertex v's range IS v, so the
+        # key gather collapses to a repeat of the query vertices.
+        keys = np.repeat(vertices, counts).astype(self.key.dtype, copy=False)
+        return keys, self.other[idx], self.edge_ids[idx]

@@ -5,6 +5,13 @@ neighborhoods ``V_i = V^L ⊇-expansion V^{L-1} ... V^0`` together with
 the per-layer in-edge sets.  These helpers compute that closure and the
 derived quantities the cost model needs (per-dependency subtree sizes,
 replication factors).
+
+All frontier bookkeeping runs on boolean masks over the vertex space:
+each hop selects only the *new* frontier (never the cumulative set) and
+merges it into a ``seen`` mask, so a closure costs O(edges reached)
+instead of the old ``union1d``-chain's O(hops x closure size).  The
+mask-derived layers (``np.flatnonzero`` of a monotone mask) are sorted
+unique arrays, element-identical to the ``union1d`` results.
 """
 
 from __future__ import annotations
@@ -14,6 +21,8 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.graph.graph import Graph
+
+_EMPTY = np.empty(0, dtype=np.int64)
 
 
 def khop_closure(
@@ -33,12 +42,22 @@ def khop_closure(
     vertex_layers = [seeds]
     edge_layers: List[np.ndarray] = []
     csc = graph.csc
+    seen = np.zeros(graph.num_vertices, dtype=bool)
+    seen[seeds] = True
+    frontier = seeds
+    edges_so_far = _EMPTY
     for _ in range(hops):
-        current = vertex_layers[-1]
-        _, sources, eids = csc.select(current)
-        edge_layers.append(np.sort(eids))
-        expanded = np.union1d(current, sources)
-        vertex_layers.append(expanded)
+        # Only the new frontier needs expanding: the cumulative set's
+        # other edges were already collected on earlier hops.
+        _, sources, eids = csc.select(frontier)
+        edges_so_far = np.sort(np.concatenate([edges_so_far, eids]))
+        edge_layers.append(edges_so_far)
+        new_mask = np.zeros(graph.num_vertices, dtype=bool)
+        new_mask[sources] = True
+        new_mask &= ~seen
+        frontier = np.flatnonzero(new_mask)
+        seen |= new_mask
+        vertex_layers.append(np.flatnonzero(seen))
     return vertex_layers, edge_layers
 
 
@@ -62,7 +81,10 @@ def dependency_layers(
     owned_mask = np.zeros(graph.num_vertices, dtype=bool)
     owned_mask[owned] = True
     _, sources, _ = graph.csc.select(owned)
-    remote = np.unique(sources[~owned_mask[sources]])
+    remote_mask = np.zeros(graph.num_vertices, dtype=bool)
+    remote_mask[sources] = True
+    remote_mask &= ~owned_mask
+    remote = np.flatnonzero(remote_mask)
     return [remote.copy() for _ in range(num_layers)]
 
 
@@ -87,8 +109,11 @@ def limited_bfs_in(
     for _ in range(depth):
         _, sources, eids = csc.select(frontier)
         edge_steps.append(eids)
-        new = np.unique(sources[~seen[sources]])
-        seen[new] = True
+        new_mask = np.zeros(graph.num_vertices, dtype=bool)
+        new_mask[sources] = True
+        new_mask &= ~seen
+        new = np.flatnonzero(new_mask)
+        seen |= new_mask
         vertex_steps.append(new)
         frontier = new
         if len(new) == 0 and len(eids) == 0:

@@ -80,7 +80,17 @@ class ReuseState:
         """Overwrite with this batch's realized bottom-layer sample."""
         order = np.argsort(dst, kind="stable")
         dst_sorted = dst[order]
-        self.vertex_ids, counts = np.unique(dst_sorted, return_counts=True)
+        if len(dst_sorted):
+            # Run-length pass over the sorted array: identical to
+            # np.unique(..., return_counts=True) without the re-sort.
+            boundaries = np.flatnonzero(
+                np.concatenate(([True], dst_sorted[1:] != dst_sorted[:-1]))
+            )
+            self.vertex_ids = dst_sorted[boundaries]
+            counts = np.diff(np.concatenate((boundaries, [len(dst_sorted)])))
+        else:
+            self.vertex_ids = _EMPTY
+            counts = _EMPTY
         self.indptr = np.concatenate(
             ([0], np.cumsum(counts))
         ).astype(np.int64)

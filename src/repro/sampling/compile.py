@@ -68,15 +68,23 @@ def _bottom_fetch(engine, closure: SampledClosure) -> Tuple[np.ndarray, dict]:
     w = closure.worker
     inputs = closure.blocks[0].input_vertices
     remote = inputs[engine.assignment[inputs] != w]
-    covered = (
-        np.intersect1d(remote, closure.reused_srcs)
-        if len(closure.reused_srcs)
-        else _EMPTY
-    )
-    rest = np.setdiff1d(remote, covered)
+    # ``remote`` is sorted unique, so mask membership splits reproduce
+    # intersect1d/setdiff1d element-identically without re-sorting.
+    if len(closure.reused_srcs):
+        reused_mask = np.zeros(engine.graph.num_vertices, dtype=bool)
+        reused_mask[closure.reused_srcs] = True
+        in_reused = reused_mask[remote]
+        covered = remote[in_reused]
+        rest = remote[~in_reused]
+    else:
+        covered = _EMPTY
+        rest = remote
     if engine.feature_cache is not None:
-        pinned = np.intersect1d(rest, engine.feature_cache.pinned_for(w))
-        fetch = np.setdiff1d(rest, pinned)
+        pinned_mask = np.zeros(engine.graph.num_vertices, dtype=bool)
+        pinned_mask[engine.feature_cache.pinned_for(w)] = True
+        in_pinned = pinned_mask[rest]
+        pinned = rest[in_pinned]
+        fetch = rest[~in_pinned]
     else:
         pinned = _EMPTY
         fetch = rest
@@ -221,13 +229,16 @@ def _worker_spec(engine, block, l, w, fetch, exchange) -> ComputeSpec:
     if block.num_edges:
         sparse_flops = float(w_layer.sparse_flops(block))
         if l == 1 and len(fetch):
-            received = np.isin(block.edge_src_global, fetch)
-            owners = engine.assignment[block.edge_src_global]
+            fetch_mask = np.zeros(engine.graph.num_vertices, dtype=bool)
+            fetch_mask[fetch] = True
+            received = fetch_mask[block.edge_src_global]
+            recv_src = block.edge_src_global[received]
+            chunk_edges = np.bincount(
+                engine.assignment[recv_src], minlength=m
+            ).astype(np.int64)
             for j in range(m):
-                sel = received & (owners == j)
-                chunk_edges[j] = int(sel.sum())
                 chunk_vertices[j] = len(exchange.recv_ids.get((j, w), ()))
-            local_edges = int((~received).sum())
+            local_edges = block.num_edges - len(recv_src)
         else:
             local_edges = block.num_edges
     return ComputeSpec(

@@ -68,6 +68,7 @@ class SampledTrainingEngine(BaseEngine):
         retry=None,
         cache_config=None,
         overlap_pass: bool = False,
+        program_passes=None,
         rpc_accounting: bool = False,
         legacy_rng: bool = False,
         **_ignored,
@@ -91,6 +92,7 @@ class SampledTrainingEngine(BaseEngine):
             retry=retry,
             cache_config=None,
             overlap_pass=overlap_pass,
+            program_passes=program_passes,
         )
         self.fanouts = fanouts
         self.batch_size = int(batch_size)
@@ -268,13 +270,21 @@ class SampledTrainingEngine(BaseEngine):
             self.graph.features[closure.blocks[0].input_vertices],
             requires_grad=False,
         )
+        program = self.program_
         for l in range(1, self.num_layers + 1):
             layer = self.model.layer(l)
+            # The fuse pass (when this round's program is compiled and
+            # annotated) dispatches the bit-identical fused kernel.
+            fused = (
+                program is not None
+                and program.layers[l - 1].fused_reducer is not None
+            )
+            fwd = layer.forward_fused if fused else layer.forward
             if training:
-                out = layer.forward(closure.blocks[l - 1], out)
+                out = fwd(closure.blocks[l - 1], out)
             else:
                 with no_grad():
-                    out = layer.forward(closure.blocks[l - 1], out)
+                    out = fwd(closure.blocks[l - 1], out)
         return out
 
     def _train_round(self, closures, optimizer, total: float) -> float:
@@ -358,11 +368,13 @@ class SampledTrainingEngine(BaseEngine):
         self._epoch += 1
         self._save_rng_state()
         stats["comm_bytes"] = comm_bytes
-        stats["unique_remote"] = (
-            int(len(np.unique(np.concatenate(unique_remote))))
-            if unique_remote
-            else 0
-        )
+        if unique_remote:
+            remote_mask = np.zeros(self.graph.num_vertices, dtype=bool)
+            for ids in unique_remote:
+                remote_mask[ids] = True
+            stats["unique_remote"] = int(remote_mask.sum())
+        else:
+            stats["unique_remote"] = 0
         stats["epoch_time_s"] = t_end - t_start
         self.last_epoch_stats = stats
         return EpochReport(

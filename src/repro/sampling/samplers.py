@@ -68,6 +68,17 @@ def _rank_within_group(groups: np.ndarray, key: np.ndarray) -> np.ndarray:
     return ranks
 
 
+def _run_lengths(groups: np.ndarray) -> np.ndarray:
+    """Lengths of the contiguous runs of equal values in ``groups``."""
+    n = len(groups)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    boundaries = np.flatnonzero(
+        np.concatenate(([True], groups[1:] != groups[:-1]))
+    )
+    return np.diff(np.concatenate((boundaries, [n])))
+
+
 class NeighborSampler:
     """Shared top-down loop; subclasses supply one layer's draw."""
 
@@ -113,7 +124,9 @@ class NeighborSampler:
         if legacy_rng is not None and kappa > 0.0:
             raise ValueError("legacy sequential RNG cannot express kappa reuse")
         num_layers = len(self.fanouts)
-        frontier = np.unique(np.asarray(seeds, dtype=np.int64))
+        seed_mask = np.zeros(graph.num_vertices, dtype=bool)
+        seed_mask[np.asarray(seeds, dtype=np.int64)] = True
+        frontier = np.flatnonzero(seed_mask)
         num_seeds = len(frontier)
         blocks = [None] * num_layers
         frontier_sizes = [num_seeds]
@@ -214,11 +227,21 @@ class UniformFanoutSampler(NeighborSampler):
         if len(dst) == 0:
             return _EMPTY_LAYER
         # Keeping the fanout smallest of iid per-edge uniforms is a
-        # uniform fanout-subset of each vertex's in-edges.
+        # uniform fanout-subset of each vertex's in-edges.  Vertices at
+        # or under the fanout keep every edge, so only the over-fanout
+        # groups need uniforms drawn and ranked; the kept set is
+        # identical to ranking the full candidate list.
+        csc = graph.csc
+        counts = csc.indptr[frontier + 1] - csc.indptr[frontier]
+        over = np.repeat(counts > fanout, counts)
+        if not over.any():
+            return src, dst, eids, None
+        sel = np.flatnonzero(over)
         r = hashed_uniforms(
-            self.seed, "uniform", epoch, batch, layer, ids=eids
+            self.seed, "uniform", epoch, batch, layer, ids=eids[sel]
         )
-        keep = _rank_within_group(dst, r) < fanout
+        keep = np.ones(len(dst), dtype=bool)
+        keep[sel] = _rank_within_group(dst[sel], r) < fanout
         return src[keep], dst[keep], eids[keep], None
 
     def _sample_layer_legacy(self, graph, frontier, fanout, rng) -> LayerSample:
@@ -278,8 +301,19 @@ class LaborSampler(NeighborSampler):
             return _EMPTY_LAYER
         # Cap at fanout per destination, keeping the smallest r_u so the
         # kept set is still a deterministic function of the uniforms.
-        ranks = _rank_within_group(dst[accepted], r[accepted])
-        keep = accepted[ranks < fanout]
+        # Destinations whose accepted count is already within the fanout
+        # need no ranking at all.
+        acc_dst = dst[accepted]
+        acc_counts = _run_lengths(acc_dst)
+        over = np.repeat(acc_counts > fanout, acc_counts)
+        if not over.any():
+            keep = accepted
+        else:
+            sel = np.flatnonzero(over)
+            ranks = _rank_within_group(acc_dst[sel], r[accepted[sel]])
+            keep_mask = np.ones(len(accepted), dtype=bool)
+            keep_mask[sel] = ranks < fanout
+            keep = accepted[keep_mask]
         return src[keep], dst[keep], eids[keep], None
 
 
@@ -312,7 +346,15 @@ class LadiesSampler(NeighborSampler):
         if len(dst) == 0:
             return _EMPTY_LAYER
         budget = max(1, int(round(fanout * max(num_seeds, 1) * self.budget_scale)))
-        candidates, inverse = np.unique(src, return_inverse=True)
+        # Mask-based unique-with-inverse over the vertex space: same
+        # sorted candidate array and inverse as np.unique, without the
+        # per-layer sort.
+        present = np.zeros(graph.num_vertices, dtype=bool)
+        present[src] = True
+        candidates = np.flatnonzero(present)
+        row_of = np.empty(graph.num_vertices, dtype=np.int64)
+        row_of[candidates] = np.arange(len(candidates), dtype=np.int64)
+        inverse = row_of[src]
         if len(candidates) <= budget:
             return src, dst, eids, None
         w = graph.edge_weight[eids].astype(np.float64)

@@ -71,6 +71,94 @@ def segment_sum(x: Tensor, segments: np.ndarray, num_segments: int) -> Tensor:
     return SegmentSum.apply(x, segments=segments, num_segments=num_segments)
 
 
+class FusedGatherScatter(Function):
+    """Gather-by-src + (optional weight) + segment-sum as one kernel.
+
+    The fused form of ``IndexSelect -> Mul -> SegmentSum`` (and the
+    trailing count division for ``"mean"``): forward and backward
+    replay the unfused chain's numpy operations in the same order, so
+    the result -- value and gradient -- is bit-identical to the op
+    chain while skipping the intermediate ``Function`` nodes and the
+    per-edge tape tensor.
+    """
+
+    def __init__(
+        self,
+        *inputs,
+        src_pos: np.ndarray,
+        segments: np.ndarray,
+        num_segments: int,
+        weights: Optional[np.ndarray],
+        reducer: str,
+    ):
+        super().__init__(*inputs)
+        self.src_pos = src_pos
+        self.segments = segments
+        self.num_segments = num_segments
+        self.weights = weights
+        self.reducer = reducer
+
+    def _counts(self, ndim: int, dtype) -> np.ndarray:
+        # Exactly segment_mean's divisor: bincount, clamp, broadcast.
+        counts = np.bincount(
+            self.segments, minlength=self.num_segments
+        ).astype(dtype)
+        return np.maximum(counts, 1.0).reshape(
+            (self.num_segments,) + (1,) * (ndim - 1)
+        )
+
+    def forward(self, x):
+        messages = x[self.src_pos]
+        if self.weights is not None:
+            messages = messages * self.weights.reshape(-1, 1)
+        # Allocation dtype follows the *message* rows (matching what
+        # SegmentSum sees in the unfused chain, weight promotion
+        # included), not the raw input.
+        self.save_for_backward(x.shape, messages.dtype)
+        out = np.zeros(
+            (self.num_segments,) + messages.shape[1:], dtype=messages.dtype
+        )
+        np.add.at(out, self.segments, messages)
+        if self.reducer == "mean":
+            out = out / self._counts(messages.ndim, messages.dtype)
+        return out
+
+    def backward(self, grad):
+        shape, dtype = self.saved
+        if self.reducer == "mean":
+            grad = grad / self._counts(len(shape), dtype)
+        per_edge = grad[self.segments]
+        if self.weights is not None:
+            per_edge = per_edge * self.weights.reshape(-1, 1)
+        out = np.zeros(shape, dtype=per_edge.dtype)
+        np.add.at(out, self.src_pos, per_edge)
+        return (out,)
+
+
+def fused_gather_scatter(
+    x: Tensor,
+    src_pos: np.ndarray,
+    segments: np.ndarray,
+    num_segments: int,
+    weights: Optional[np.ndarray] = None,
+    reducer: str = "sum",
+) -> Tensor:
+    """One-kernel ``x[src_pos] (* weights)`` summed (or meaned) by
+    ``segments`` -- the fused Scatter/Edge/Gather step."""
+    if reducer not in ("sum", "weighted_sum", "mean"):
+        raise ValueError(f"unsupported fused reducer {reducer!r}")
+    if reducer == "weighted_sum" and weights is None:
+        raise ValueError("weighted_sum fusion needs edge weights")
+    return FusedGatherScatter.apply(
+        x,
+        src_pos=np.asarray(src_pos, dtype=np.int64),
+        segments=np.asarray(segments, dtype=np.int64),
+        num_segments=num_segments,
+        weights=weights if reducer == "weighted_sum" else None,
+        reducer=reducer,
+    )
+
+
 def segment_mean(x: Tensor, segments: np.ndarray, num_segments: int) -> Tensor:
     """Mean of rows grouped by ``segments``; empty segments yield zeros."""
     segments = np.asarray(segments, dtype=np.int64)
